@@ -1,0 +1,18 @@
+"""Benchmark configuration.
+
+Benchmarks regenerate every table and figure of the paper.  They default
+to the ``tiny`` experiment scale so the full suite completes in minutes;
+set ``REPRO_SCALE=small`` (or ``paper``) for the full-size runs recorded
+in EXPERIMENTS.md.  Each benchmark runs its experiment once per round
+(``pedantic``) because a single run already aggregates thousands of
+simulated MAC cycles.
+"""
+
+import os
+
+os.environ.setdefault("REPRO_SCALE", "tiny")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an experiment with one warm round (training is cached)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,205 @@
+"""Ablation benches for the design choices called out in DESIGN.md §5.
+
+These do not correspond to a single paper figure; they probe *why* the
+design is the way it is, on synthetic layers (no training needed):
+
+* sorting criteria: sign_first vs. mag_first vs. random permutation vs.
+  the provably-optimal single-column bound;
+* clustering: swap refinement on/off, and clustered vs. contiguous groups;
+* accumulator width: how the PSUM register width moves the TER;
+* STA margin: guardband sensitivity of baseline and reordered TER;
+* activation sparsity: ReLU zero-fraction vs. sign-flip rate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import AcceleratorConfig, SystolicArraySimulator
+from repro.core import (
+    BalancedSignClusterer,
+    MappingStrategy,
+    clustering_objective,
+    contiguous_clusters,
+    count_sign_flips,
+    matrix_sign_flips,
+    plan_layer,
+)
+from repro.core.reorder import sort_input_channels
+from repro.experiments.common import render_table
+from repro.hw.mac import MacConfig
+from repro.hw.variations import TER_EVAL_CORNER
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def layer():
+    """A synthetic trained-layer stand-in: gamma activations, gaussian weights."""
+    rng = np.random.default_rng(7)
+    acts = np.clip(rng.gamma(1.1, 25, size=(32, 144)), 0, 255).astype(np.int64)
+    weights = np.clip(rng.normal(0, 16, size=(144, 32)), -128, 127).astype(np.int64)
+    return acts, weights
+
+
+def test_bench_ablation_sort_criteria(benchmark, layer):
+    """sign_first should beat mag_first, random, and approach the bound."""
+    acts, weights = layer
+    rng = np.random.default_rng(0)
+
+    def measure():
+        rows = []
+        flips = {}
+        for label, order_fn in (
+            ("original", lambda w: np.arange(w.shape[0])),
+            ("random", lambda w: rng.permutation(w.shape[0])),
+            ("mag_first", lambda w: sort_input_channels(w, "mag_first")),
+            ("sign_first", lambda w: sort_input_channels(w, "sign_first")),
+        ):
+            total = 0
+            for start in range(0, weights.shape[1], 4):
+                sub = weights[:, start : start + 4]
+                order = order_fn(sub)
+                total += int(matrix_sign_flips(acts[:, order], sub[order]).sum())
+            flips[label] = total
+            rows.append([label, total])
+        # per-column optimal bound: minimum achievable flips
+        outputs = acts @ weights
+        bound = int((outputs < 0).sum())
+        rows.append(["optimal bound", bound])
+        print()
+        print(render_table(["Order", "Total sign flips"], rows))
+        return flips, bound
+
+    flips, bound = run_once(benchmark, measure)
+    assert flips["sign_first"] < flips["mag_first"] < flips["original"]
+    assert flips["sign_first"] < flips["random"]
+    assert flips["sign_first"] >= bound
+
+
+def test_bench_ablation_clustering_refinement(benchmark, layer):
+    """Swap refinement must improve the Problem 2 objective."""
+    _, weights = layer
+
+    def measure():
+        plain = BalancedSignClusterer(4, swap_refinement=False, seed=0).fit(weights)
+        refined = BalancedSignClusterer(4, swap_refinement=True, seed=0).fit(weights)
+        contiguous = clustering_objective(weights, contiguous_clusters(32, 4))
+        rows = [
+            ["contiguous", contiguous],
+            ["balanced k-medians", plain.objective],
+            ["  + swap refinement", refined.objective],
+        ]
+        print()
+        print(render_table(["Grouping", "SD objective"], rows))
+        return contiguous, plain.objective, refined.objective
+
+    contiguous, plain, refined = run_once(benchmark, measure)
+    assert refined <= plain <= contiguous
+
+
+def test_bench_ablation_accumulator_width(benchmark, layer):
+    """Wider accumulators lengthen the settle path, raising nominal TER.
+
+    This is the guardband trade the paper's 24-bit choice sits in: the
+    register must hold the worst-case dot product, but every extra bit
+    adds delay headroom that PVTA variation can consume.
+    """
+    acts, weights = layer
+
+    def measure():
+        rows = []
+        ters = []
+        for width in (20, 24, 28):
+            cfg = AcceleratorConfig(mac=MacConfig(psum_width=width))
+            sim = SystolicArraySimulator(cfg)
+            report = sim.run_gemm(acts, weights, corner=TER_EVAL_CORNER)
+            rows.append([width, report.ter, report.sign_flip_rate])
+            ters.append(report.ter)
+        print()
+        print(render_table(["PSUM width", "TER", "SignFlipRate"], rows))
+        return ters
+
+    ters = run_once(benchmark, measure)
+    assert all(t >= 0 for t in ters)
+
+
+def test_bench_ablation_sta_margin(benchmark, layer):
+    """TER falls steeply with guardband — the cost READ avoids paying."""
+    acts, weights = layer
+
+    def measure():
+        rows = []
+        ters = []
+        for margin in (0.05, 0.11, 0.20):
+            cfg = AcceleratorConfig(sta_margin=margin)
+            sim = SystolicArraySimulator(cfg)
+            base = sim.run_gemm(acts, weights, plan_layer(weights, 4, "baseline"), TER_EVAL_CORNER)
+            reord = sim.run_gemm(acts, weights, plan_layer(weights, 4, "reorder"), TER_EVAL_CORNER)
+            rows.append([margin, base.ter, reord.ter])
+            ters.append((base.ter, reord.ter))
+        print()
+        print(render_table(["STA margin", "Baseline TER", "Reorder TER"], rows))
+        return ters
+
+    ters = run_once(benchmark, measure)
+    base_series = [b for b, _ in ters]
+    assert base_series == sorted(base_series, reverse=True)  # monotone in margin
+    for base, reord in ters:
+        if base > 1e-12:
+            assert reord < base
+
+
+def test_bench_ablation_activation_sparsity(benchmark):
+    """Higher ReLU sparsity -> fewer sign flips (paper Section V-B note)."""
+    rng = np.random.default_rng(1)
+    weights = np.clip(rng.normal(0, 16, size=(128, 8)), -128, 127).astype(np.int64)
+
+    def measure():
+        rows = []
+        rates = []
+        for sparsity in (0.0, 0.5, 0.9):
+            acts = np.clip(rng.gamma(1.1, 25, size=(64, 128)), 0, 255).astype(np.int64)
+            mask = rng.random(acts.shape) < sparsity
+            acts = acts * ~mask
+            flips = matrix_sign_flips(acts, weights)
+            rate = float(flips.sum()) / flips.size / 128
+            rows.append([sparsity, rate])
+            rates.append(rate)
+        print()
+        print(render_table(["Sparsity", "Sign flips per MAC"], rows))
+        return rates
+
+    rates = run_once(benchmark, measure)
+    assert rates[-1] <= rates[0]
+
+
+def test_bench_ablation_relu_nonnegativity_assumption(benchmark):
+    """READ's heuristic relies on non-negative inputs: with signed inputs
+    the single-sort guarantee disappears (flips exceed the bound)."""
+    rng = np.random.default_rng(2)
+    weights = np.clip(rng.normal(0, 16, size=(64,)), -128, 127).astype(np.int64)
+
+    def measure():
+        order = sort_input_channels(weights[:, None], "sign_first")
+        relu_acts = np.clip(rng.gamma(1.1, 25, size=(64, 64)), 0, 255).astype(np.int64)
+        signed_acts = rng.integers(-128, 128, size=(64, 64))
+        relu_flips = int(
+            count_sign_flips(relu_acts[:, order] * weights[order][None, :]).sum()
+        )
+        signed_flips = int(
+            count_sign_flips(signed_acts[:, order] * weights[order][None, :]).sum()
+        )
+        relu_bound = int(((relu_acts @ weights) < 0).sum())
+        print()
+        print(
+            render_table(
+                ["Inputs", "Flips after sign_first", "Optimal bound"],
+                [["ReLU (non-negative)", relu_flips, relu_bound],
+                 ["signed", signed_flips, "n/a"]],
+            )
+        )
+        return relu_flips, relu_bound, signed_flips
+
+    relu_flips, relu_bound, signed_flips = run_once(benchmark, measure)
+    assert relu_flips == relu_bound  # guarantee holds with ReLU inputs
+    assert signed_flips > relu_flips  # and breaks without them

@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig. 11 (top-3 accuracy, larger benchmarks).
+
+VGG-16 on the CIFAR-100-like dataset and ResNet-34 on the
+ImageNet-32-like dataset, errors injected only into the vulnerable early
+layers (the paper's cost-saving protocol).
+"""
+
+import numpy as np
+
+from repro.experiments import fig11
+from repro.experiments.common import get_scale
+
+from conftest import run_once
+
+
+def test_bench_fig11(benchmark):
+    result = run_once(benchmark, fig11.run, scale=get_scale())
+    print()
+    print(fig11.render(result))
+    for grid in result.grids:
+        assert grid.topk == 3
+        base = np.array(grid.accuracy["baseline"])
+        ctr = np.array(grid.accuracy["cluster_then_reorder"])
+        assert ctr.mean() >= base.mean()

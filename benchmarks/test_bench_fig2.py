@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 2 (sign-flip rate vs. TER correlation)."""
+
+from repro.experiments import fig2
+from repro.experiments.common import get_scale
+
+from conftest import run_once
+
+
+def test_bench_fig2(benchmark):
+    result = run_once(benchmark, fig2.run, scale=get_scale())
+    print()
+    print(f"points: {len(result.points)}  "
+          f"log-log Pearson correlation: {result.correlation:.3f}")
+    # the paper's observation: strong positive correlation
+    assert result.correlation > 0.8

@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 5 (weight-sign layout and clustering convergence)."""
+
+from repro.experiments import fig5
+from repro.experiments.common import get_scale
+
+from conftest import run_once
+
+
+def test_bench_fig5(benchmark):
+    result = run_once(benchmark, fig5.run, scale=get_scale())
+    print()
+    print(fig5.render(result))
+    # reordered layouts concentrate non-negative weights in front
+    assert fig5.front_loading(result.sign_first_ratio) > 0.1
+    assert fig5.front_loading(result.sign_first_ratio) >= fig5.front_loading(
+        result.mag_first_ratio
+    )
+    # clustering converges to a high top-quartile non-negative ratio
+    assert result.top25_by_iteration[-1] > 0.6

@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 7 (TER vs. channels-per-cluster)."""
+
+from repro.experiments import fig7
+from repro.experiments.common import get_scale
+
+from conftest import run_once
+
+
+def test_bench_fig7(benchmark):
+    result = run_once(benchmark, fig7.run, scale=get_scale())
+    print()
+    print(fig7.render(result))
+    base = result.ter["baseline"]
+    sign = result.ter["reorder_sign_first"]
+    ctr = result.ter["cluster_then_reorder"]
+    # every variant beats the baseline at every group size
+    for series in (sign, result.ter["reorder_mag_first"], ctr):
+        assert all(s < b for s, b in zip(series, base))
+    # reordering loses effectiveness as the group widens
+    assert sign[-1] > sign[0]

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 9 (PSUM trajectories, original vs. reordered)."""
+
+import numpy as np
+
+from repro.experiments import fig9
+from repro.experiments.common import get_scale
+
+from conftest import run_once
+
+
+def test_bench_fig9(benchmark):
+    result = run_once(benchmark, fig9.run, scale=get_scale())
+    print()
+    print(fig9.render(result))
+    assert result.reordered.total_sign_flips < result.original.total_sign_flips
+    # the reordered trace achieves the theoretical minimum per output
+    assert np.all(result.reordered.sign_flips <= 1)

@@ -1,0 +1,65 @@
+"""Microbenchmarks of the simulation kernels (throughput tracking).
+
+Unlike the figure benches these use pytest-benchmark's statistics
+properly (many rounds): they guard against performance regressions in the
+hot paths — the bit-accurate MAC trace, the carry/settle scans, the DTA
+probability evaluation and the clustering inner loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BalancedSignClusterer, sort_input_channels
+from repro.hw.carry import highest_set_bit, longest_one_run
+from repro.hw.dta import DynamicTimingAnalyzer
+from repro.hw.mac import MacUnit
+from repro.hw.variations import TER_EVAL_CORNER
+
+
+@pytest.fixture(scope="module")
+def operands():
+    rng = np.random.default_rng(0)
+    acts = rng.integers(0, 256, size=(64, 512))
+    weights = rng.integers(-128, 128, size=(64, 512))
+    return acts, weights
+
+
+@pytest.fixture(scope="module")
+def trace(operands):
+    acts, weights = operands
+    return MacUnit().run(acts, weights, validate=False)
+
+
+def test_bench_mac_trace_throughput(benchmark, operands):
+    """~32k MAC cycles per call, bit-accurate with carry analysis."""
+    acts, weights = operands
+    mac = MacUnit()
+    result = benchmark(mac.run, acts, weights, validate=False)
+    assert result.psums.shape == (64, 512)
+
+
+def test_bench_bit_scans(benchmark):
+    rng = np.random.default_rng(1)
+    fields = rng.integers(0, 2**24, size=100_000)
+    benchmark(lambda: (longest_one_run(fields, 24), highest_set_bit(fields, 24)))
+
+
+def test_bench_dta_probabilities(benchmark, trace):
+    dta = DynamicTimingAnalyzer()
+    probs = benchmark(dta.error_probabilities, trace, TER_EVAL_CORNER)
+    assert probs.shape == trace.psums.shape
+
+
+def test_bench_sort_input_channels(benchmark):
+    rng = np.random.default_rng(2)
+    weights = rng.integers(-128, 128, size=(1152, 32))
+    order = benchmark(sort_input_channels, weights, "sign_first")
+    assert order.shape == (1152,)
+
+
+def test_bench_clustering(benchmark):
+    rng = np.random.default_rng(3)
+    weights = rng.integers(-64, 64, size=(256, 64))
+    clusterer = BalancedSignClusterer(cluster_size=4, max_iterations=10, seed=0)
+    result = benchmark.pedantic(clusterer.fit, args=(weights,), rounds=3, iterations=1)
+    assert len(result.clusters) == 16

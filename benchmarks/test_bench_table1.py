@@ -1,0 +1,13 @@
+"""Bench: regenerate Table I (qualitative technique comparison)."""
+
+from repro.experiments import table1
+
+from conftest import run_once
+
+
+def test_bench_table1(benchmark):
+    rows = run_once(benchmark, table1.run)
+    print()
+    print(table1.render(rows))
+    assert len(rows) == 6
+    assert rows[-1].layer == "dataflow"

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: reduce the timing error rate of one layer with READ.
+
+Walks the core API end to end in under a minute:
+
+1. build a synthetic quantized conv layer (weights + ReLU activations);
+2. map it onto the paper's 16x4 output-stationary systolic array with the
+   three strategies (baseline / reorder / cluster-then-reorder);
+3. run the dynamic-timing-instrumented simulation at the paper's
+   evaluation corner (10-year aging + 5 % VT fluctuation);
+4. report sign-flip rates, TERs and the Eq. 1 output bit error rates —
+   and verify that reordering never changes a single output value.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    AcceleratorConfig,
+    MappingStrategy,
+    SystolicArraySimulator,
+    TER_EVAL_CORNER,
+    plan_layer,
+)
+from repro.experiments import render_table
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # A stand-in for one quantized conv layer lowered to a GEMM:
+    # 144 = C*Fy*Fx reduction channels, 32 output channels, uint8
+    # activations (post-ReLU), int8 weights.
+    weights = np.clip(rng.normal(0, 16, size=(144, 32)), -128, 127).astype(np.int64)
+    acts = np.clip(rng.gamma(1.2, 24, size=(64, 144)), 0, 255).astype(np.int64)
+
+    config = AcceleratorConfig()  # the paper's 16x4 output-stationary array
+    sim = SystolicArraySimulator(config)
+    golden = sim.golden_gemm(acts, weights)
+
+    print(f"array: {config.rows}x{config.cols}, "
+          f"nominal clock {config.nominal_clock_ps():.0f} ps, "
+          f"corner: {TER_EVAL_CORNER.name}\n")
+
+    rows = []
+    baseline_ter = None
+    for strategy in MappingStrategy:
+        plan = plan_layer(weights, group_size=config.cols, strategy=strategy)
+        report = sim.run_gemm(acts, weights, plan, TER_EVAL_CORNER)
+
+        # compute correctness: READ only changes the ORDER of MACs
+        assert np.array_equal(report.outputs, golden), "outputs changed!"
+
+        if baseline_ter is None:
+            baseline_ter = report.ter
+        rows.append(
+            [
+                strategy.value,
+                report.sign_flip_rate,
+                report.ter,
+                f"{baseline_ter / report.ter:.1f}x" if report.ter > 0 else "inf",
+                report.expected_output_ber(),
+            ]
+        )
+
+    print(render_table(
+        ["Strategy", "SignFlipRate", "TER", "TER reduction", "Output BER (Eq. 1)"],
+        rows,
+    ))
+    print("\nAll three strategies produced bit-identical outputs "
+          "(compute correctness verified).")
+
+
+if __name__ == "__main__":
+    main()

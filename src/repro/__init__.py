@@ -1,0 +1,95 @@
+"""READ reproduction: reliability-enhanced accelerator dataflow optimization.
+
+A full from-scratch implementation of the DATE 2023 paper "READ:
+Reliability-Enhanced Accelerator Dataflow Optimization using Critical
+Input Pattern Reduction" (Zhang et al.), including every substrate the
+paper depends on: a bit-accurate MAC datapath with carry-chain dynamic
+timing analysis, PVTA variation models, a systolic-array simulator, a
+numpy DNN training/quantization stack, and a fault-injection framework.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import plan_layer, MappingStrategy, SystolicArraySimulator
+>>> rng = np.random.default_rng(0)
+>>> weights = rng.integers(-128, 128, size=(64, 16))
+>>> acts = rng.integers(0, 256, size=(32, 64))
+>>> plan = plan_layer(weights, group_size=4,
+...                   strategy=MappingStrategy.CLUSTER_THEN_REORDER)
+>>> report = SystolicArraySimulator().run_gemm(acts, weights, plan)
+>>> report.ter <= 1.0
+True
+"""
+
+from .arch import (
+    PAPER_ARRAY,
+    AcceleratorConfig,
+    Dataflow,
+    LayerReliabilityReport,
+    SystolicArraySimulator,
+)
+from .core import (
+    BalancedSignClusterer,
+    LayerMappingPlan,
+    LutCostModel,
+    MappingStrategy,
+    NetworkMappingPlan,
+    count_sign_flips,
+    plan_layer,
+    plan_network,
+    sort_input_channels,
+)
+from .errors import (
+    ConfigurationError,
+    MappingError,
+    QuantizationError,
+    ReproError,
+    ShapeError,
+    TrainingError,
+)
+from .hw import (
+    PAPER_CORNERS,
+    TER_EVAL_CORNER,
+    DelayModel,
+    DynamicTimingAnalyzer,
+    MacConfig,
+    MacUnit,
+    PvtaCondition,
+    StaticTimingAnalyzer,
+    corner_by_name,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcceleratorConfig",
+    "BalancedSignClusterer",
+    "ConfigurationError",
+    "Dataflow",
+    "DelayModel",
+    "DynamicTimingAnalyzer",
+    "LayerMappingPlan",
+    "LayerReliabilityReport",
+    "LutCostModel",
+    "MacConfig",
+    "MacUnit",
+    "MappingError",
+    "MappingStrategy",
+    "NetworkMappingPlan",
+    "PAPER_ARRAY",
+    "PAPER_CORNERS",
+    "PvtaCondition",
+    "QuantizationError",
+    "ReproError",
+    "ShapeError",
+    "StaticTimingAnalyzer",
+    "SystolicArraySimulator",
+    "TER_EVAL_CORNER",
+    "TrainingError",
+    "count_sign_flips",
+    "corner_by_name",
+    "plan_layer",
+    "plan_network",
+    "sort_input_channels",
+    "__version__",
+]

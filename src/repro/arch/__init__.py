@@ -1,0 +1,34 @@
+"""Spatial-accelerator substrate: geometry, lowering, schedules, costs."""
+
+from .config import PAPER_ARRAY, AcceleratorConfig, Dataflow
+from .dataflow import GemmWorkload, ScheduleBuilder, ScheduleStats
+from .energy import AcceleratorCostModel, EnergyModel, LayerEnergyReport
+from .mapper import (
+    ConvShape,
+    conv2d_reference,
+    im2col,
+    lower_weights,
+    sample_pixel_rows,
+    tile_ranges,
+)
+from .systolic import LayerReliabilityReport, SystolicArraySimulator
+
+__all__ = [
+    "AcceleratorConfig",
+    "AcceleratorCostModel",
+    "ConvShape",
+    "Dataflow",
+    "EnergyModel",
+    "GemmWorkload",
+    "LayerEnergyReport",
+    "LayerReliabilityReport",
+    "PAPER_ARRAY",
+    "ScheduleBuilder",
+    "ScheduleStats",
+    "SystolicArraySimulator",
+    "conv2d_reference",
+    "im2col",
+    "lower_weights",
+    "sample_pixel_rows",
+    "tile_ranges",
+]

@@ -1,0 +1,80 @@
+"""Accelerator configuration (paper Section V-A).
+
+The evaluation platform is an output-stationary systolic array with 16
+rows and 4 columns of TPU-style MAC units (8-bit activations, 8-bit
+weights, 24-bit partial sums).  :class:`AcceleratorConfig` bundles those
+choices together with the timing models so the rest of the library can be
+parameterized by a single object.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..hw.mac import MacConfig
+from ..hw.timing import DelayModel, StaticTimingAnalyzer
+
+
+class Dataflow(enum.Enum):
+    """Dataflows discussed in Section II-A (Fig. 1)."""
+
+    OUTPUT_STATIONARY = "output_stationary"
+    WEIGHT_STATIONARY = "weight_stationary"
+
+    @classmethod
+    def from_name(cls, name: str) -> "Dataflow":
+        for member in cls:
+            if member.value == name or member.name.lower() == name.lower():
+                return member
+        raise ConfigurationError(
+            f"unknown dataflow {name!r}; expected one of {[m.value for m in cls]}"
+        )
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """A 2-D spatial accelerator instance.
+
+    Attributes
+    ----------
+    rows / cols:
+        Array dimensions ``Ar x Ac``.  Rows map output pixels
+        (output-stationary) or reduction channels (weight-stationary);
+        columns map output channels.
+    mac:
+        Datapath bit widths.
+    dataflow:
+        Operand movement scheme.
+    delay_model / sta:
+        Timing surrogate and STA used to fix the nominal clock.
+    """
+
+    rows: int = 16
+    cols: int = 4
+    mac: MacConfig = field(default_factory=MacConfig)
+    dataflow: Dataflow = Dataflow.OUTPUT_STATIONARY
+    delay_model: DelayModel = field(default_factory=DelayModel)
+    sta_margin: float = 0.11
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ConfigurationError("array dimensions must be >= 1")
+
+    @property
+    def n_pes(self) -> int:
+        """Number of processing elements in the array."""
+        return self.rows * self.cols
+
+    def sta(self) -> StaticTimingAnalyzer:
+        """The static timing analyzer that sets this design's clock."""
+        return StaticTimingAnalyzer(delay_model=self.delay_model, margin=self.sta_margin)
+
+    def nominal_clock_ps(self) -> float:
+        """Nominal clock period fixed at design time."""
+        return self.sta().nominal_clock_ps(self.mac)
+
+
+#: The paper's evaluation array: 16 x 4, output stationary (Section V-A).
+PAPER_ARRAY = AcceleratorConfig()

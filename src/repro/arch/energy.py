@@ -1,0 +1,134 @@
+"""Energy and area cost model of the spatial accelerator.
+
+Quantifies two of the paper's claims that Table I states qualitatively:
+
+* **"Negligible hardware overhead"** — READ adds only the activation
+  address LUT (:mod:`repro.core.lut`); this model puts it next to the
+  MAC array, register files and global buffer so the overhead can be
+  reported as a fraction of the whole accelerator.
+* **The low-power story (Section V-C)** — on a timing-speculation
+  accelerator every detected error costs a replay; combined with
+  :mod:`repro.hw.razor` this model converts READ's error-rate reduction
+  into energy numbers.
+
+Per-component energies are technology-normalized surrogates in the
+proportions of the standard accelerator-energy literature (a MAC op ~1x,
+register-file access ~1x, global SRAM access ~6x, DRAM ~200x); absolute
+picojoules are configurable, relative conclusions are what the library
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.lut import LutCostModel
+from ..errors import ConfigurationError
+from .config import AcceleratorConfig
+from .dataflow import GemmWorkload, ScheduleBuilder, ScheduleStats
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energy coefficients (picojoules, 15 nm-class surrogates)."""
+
+    mac_op_pj: float = 0.22
+    rf_access_pj: float = 0.18
+    sram_access_pj: float = 1.2
+    dram_access_pj: float = 40.0
+    razor_detect_pj: float = 0.03     # per monitored cycle (Razor FF overhead)
+    replay_cycle_pj: float = 0.30     # per recovery cycle
+
+    def __post_init__(self) -> None:
+        for name, value in vars(self).items():
+            if value < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class LayerEnergyReport:
+    """Energy breakdown of one layer execution (picojoules)."""
+
+    compute_pj: float
+    rf_pj: float
+    buffer_pj: float
+    lut_pj: float
+    total_pj: float
+    lut_fraction: float
+    stats: ScheduleStats
+
+
+class AcceleratorCostModel:
+    """Compose schedule statistics with the energy/LUT models."""
+
+    def __init__(
+        self,
+        config: AcceleratorConfig | None = None,
+        energy: EnergyModel | None = None,
+        lut: LutCostModel | None = None,
+    ) -> None:
+        self.config = config or AcceleratorConfig()
+        self.energy = energy or EnergyModel()
+        self.lut = lut or LutCostModel()
+        self._schedules = ScheduleBuilder(self.config)
+
+    # ------------------------------------------------------------------ #
+    def layer_energy(
+        self, workload: GemmWorkload, with_read_lut: bool = False
+    ) -> LayerEnergyReport:
+        """Energy of one layer execution, optionally including READ's LUT.
+
+        The LUT is consulted once per activation fetch (it redirects the
+        read address), so its dynamic cost scales with ``act_reads``; its
+        storage cost is reported by :meth:`lut_area_fraction`.
+        """
+        stats = self._schedules.stats(workload)
+        compute = stats.busy_macs * self.energy.mac_op_pj
+        # every MAC reads two operand registers and updates the psum RF
+        rf = stats.busy_macs * 3 * self.energy.rf_access_pj
+        buffer = (
+            stats.act_reads + stats.weight_reads + stats.psum_accesses
+        ) * self.energy.sram_access_pj
+        lut_pj = 0.0
+        if with_read_lut:
+            entry_bits = max(1, workload.reduction.bit_length())
+            lut_pj = stats.act_reads * entry_bits * self.lut.sram_read_energy_pj_per_bit
+        total = compute + rf + buffer + lut_pj
+        return LayerEnergyReport(
+            compute_pj=compute,
+            rf_pj=rf,
+            buffer_pj=buffer,
+            lut_pj=lut_pj,
+            total_pj=total,
+            lut_fraction=lut_pj / total if total else 0.0,
+            stats=stats,
+        )
+
+    def lut_area_fraction(self, n_channels: int, buffer_bytes: float) -> float:
+        """READ's storage overhead relative to the on-chip buffer."""
+        return self.lut.relative_overhead(n_channels, buffer_bytes)
+
+    # ------------------------------------------------------------------ #
+    def speculation_energy(
+        self,
+        workload: GemmWorkload,
+        error_rate: float,
+        replay_cycles: int = 1,
+    ) -> float:
+        """Energy of Razor detection + replays for one layer (pJ).
+
+        ``error_rate`` is the per-cycle timing error rate (the TER the
+        DTA measures); every error triggers ``replay_cycles`` recovery
+        cycles.  This is the term READ shrinks on a timing-speculation
+        accelerator.
+        """
+        if not 0.0 <= error_rate <= 1.0:
+            raise ConfigurationError("error_rate must lie in [0, 1]")
+        if replay_cycles < 0:
+            raise ConfigurationError("replay_cycles must be non-negative")
+        stats = self._schedules.stats(workload)
+        detect = stats.cycles * self.config.n_pes * self.energy.razor_detect_pj
+        replay = (
+            stats.busy_macs * error_rate * replay_cycles * self.energy.replay_cycle_pj
+        )
+        return detect + replay

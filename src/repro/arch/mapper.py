@@ -1,0 +1,149 @@
+"""Convolution -> GEMM lowering (im2col) and tiling helpers.
+
+A convolution layer with weights ``(K, C, Fy, Fx)`` applied to inputs
+``(N, C, H, W)`` lowers to the matrix product of
+
+* an **activation matrix** of shape ``(N*OH*OW, C*Fy*Fx)`` whose rows are
+  the receptive fields of each output pixel, and
+* a **weight matrix** of shape ``(C*Fy*Fx, K)``.
+
+Row ordering along the reduction axis is ``(c, fy, fx)`` with the channel
+index outermost, so a permutation of the *previous layer's* output
+channels expands to ``Fy*Fx`` consecutive rows here — the contract
+:func:`repro.core.pipeline.plan_network` relies on.
+
+If the GEMM is larger than the physical array, it is tiled into
+array-sized blocks (Section II-A); :func:`tile_ranges` enumerates them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+@dataclass(frozen=True)
+class ConvShape:
+    """Static shape information of a lowered convolution layer."""
+
+    n: int
+    c: int
+    h: int
+    w: int
+    k: int
+    fy: int
+    fx: int
+    stride: int = 1
+    padding: int = 0
+
+    @property
+    def out_h(self) -> int:
+        return (self.h + 2 * self.padding - self.fy) // self.stride + 1
+
+    @property
+    def out_w(self) -> int:
+        return (self.w + 2 * self.padding - self.fx) // self.stride + 1
+
+    @property
+    def n_pixels(self) -> int:
+        """Output pixels per image times batch: GEMM row count."""
+        return self.n * self.out_h * self.out_w
+
+    @property
+    def reduction(self) -> int:
+        """GEMM reduction length ``C * Fy * Fx`` (MACs per output)."""
+        return self.c * self.fy * self.fx
+
+
+def lower_weights(weights: np.ndarray) -> np.ndarray:
+    """Reshape conv weights ``(K, C, Fy, Fx)`` to the GEMM matrix ``(C*Fy*Fx, K)``."""
+    weights = np.asarray(weights)
+    if weights.ndim != 4:
+        raise ShapeError(f"conv weights must be 4-D (K, C, Fy, Fx), got {weights.shape}")
+    k = weights.shape[0]
+    return weights.reshape(k, -1).T.copy()
+
+
+def im2col(
+    inputs: np.ndarray, fy: int, fx: int, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Lower inputs ``(N, C, H, W)`` to the activation matrix ``(N*OH*OW, C*Fy*Fx)``.
+
+    Zero padding matches the convolution's implicit border; the column
+    order is ``(c, fy, fx)`` with ``c`` outermost (see module docstring).
+    """
+    inputs = np.asarray(inputs)
+    if inputs.ndim != 4:
+        raise ShapeError(f"inputs must be 4-D (N, C, H, W), got {inputs.shape}")
+    n, c, h, w = inputs.shape
+    if padding:
+        inputs = np.pad(
+            inputs, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+        )
+    oh = (h + 2 * padding - fy) // stride + 1
+    ow = (w + 2 * padding - fx) // stride + 1
+    if oh < 1 or ow < 1:
+        raise ShapeError(
+            f"kernel {fy}x{fx} stride {stride} does not fit input {h}x{w} pad {padding}"
+        )
+    # sliding windows: (N, C, OH, OW, Fy, Fx)
+    s = inputs.strides
+    windows = np.lib.stride_tricks.as_strided(
+        inputs,
+        shape=(n, c, oh, ow, fy, fx),
+        strides=(s[0], s[1], s[2] * stride, s[3] * stride, s[2], s[3]),
+        writeable=False,
+    )
+    # -> (N, OH, OW, C, Fy, Fx) -> (N*OH*OW, C*Fy*Fx)
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * fy * fx)
+    return np.ascontiguousarray(cols)
+
+
+def conv2d_reference(
+    inputs: np.ndarray,
+    weights: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Golden integer convolution via the lowering (used by correctness tests).
+
+    Returns ``(N, K, OH, OW)`` in int64 — the exact value a fault-free
+    accelerator must produce regardless of computation order.
+    """
+    inputs = np.asarray(inputs)
+    weights = np.asarray(weights)
+    n = inputs.shape[0]
+    k, _, fy, fx = weights.shape
+    act = im2col(inputs, fy, fx, stride=stride, padding=padding).astype(np.int64)
+    wmat = lower_weights(weights).astype(np.int64)
+    out = act @ wmat  # (N*OH*OW, K)
+    h, w = inputs.shape[2], inputs.shape[3]
+    oh = (h + 2 * padding - fy) // stride + 1
+    ow = (w + 2 * padding - fx) // stride + 1
+    return out.reshape(n, oh, ow, k).transpose(0, 3, 1, 2)
+
+
+def tile_ranges(total: int, tile: int) -> Iterator[Tuple[int, int]]:
+    """Yield ``(start, stop)`` covering ``[0, total)`` in ``tile``-sized blocks."""
+    if tile < 1:
+        raise ShapeError("tile size must be >= 1")
+    for start in range(0, total, tile):
+        yield start, min(start + tile, total)
+
+
+def sample_pixel_rows(
+    n_pixels: int, max_pixels: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Choose a representative subset of GEMM rows for TER estimation.
+
+    Dynamic timing analysis over every output pixel of every layer is
+    unnecessary — TER is a per-cycle average, and a uniform pixel sample
+    is an unbiased estimator.  Returns sorted unique row indices.
+    """
+    if n_pixels <= max_pixels:
+        return np.arange(n_pixels)
+    return np.sort(rng.choice(n_pixels, size=max_pixels, replace=False))

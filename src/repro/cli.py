@@ -1,0 +1,75 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage::
+
+    read-repro list
+    read-repro fig8 --scale small
+    read-repro all --scale tiny
+    python -m repro fig10
+
+Each experiment prints the same rows/series the paper reports (as text
+tables; this library is plot-free by design).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .experiments import RUNNERS, SCALES, get_scale
+
+#: Runners that take no scale argument (pure/static demos).
+_SCALELESS = {"table1", "fig3"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="read-repro",
+        description="Reproduce the tables and figures of the READ paper (DATE 2023).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(RUNNERS) + ["all", "list"],
+        help="which table/figure to regenerate ('all' runs everything, "
+        "'list' shows what is available)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="experiment sizing (default: $REPRO_SCALE or 'small')",
+    )
+    return parser
+
+
+def run_one(name: str, scale_name: Optional[str]) -> str:
+    """Execute one experiment and return its rendering."""
+    module = RUNNERS[name]
+    if name in _SCALELESS:
+        result = module.run()
+    else:
+        result = module.run(scale=get_scale(scale_name))
+    return module.render(result)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (also exposed as the ``read-repro`` script)."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in sorted(RUNNERS):
+            doc = (RUNNERS[name].__doc__ or "").strip().splitlines()[0]
+            print(f"{name:8s} {doc}")
+        return 0
+    names = sorted(RUNNERS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.time()
+        print(f"=== {name} " + "=" * max(0, 60 - len(name)))
+        print(run_one(name, args.scale))
+        print(f"--- {name} done in {time.time() - start:.1f}s\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution
+    sys.exit(main())

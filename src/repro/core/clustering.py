@@ -1,0 +1,299 @@
+"""Output-channel clustering (paper Section IV-C, Problem 2).
+
+Before segmenting the weight matrix into array-width column groups,
+cluster the output channels so that channels sharing similar weight-sign
+structure are streamed together — they then admit a common input-channel
+order with few residual sign flips.
+
+The paper defines the *sign difference* between two output channels as
+the Manhattan distance between their weight sign vectors, the cluster
+cost as the sum of pairwise sign differences within each cluster, and
+requires hard-balanced clusters (every cluster exactly the array width,
+since each maps to a physical column group).  It solves this with a
+balanced KNN-style iteration on the sign matrix; we implement a balanced
+k-medians (Manhattan metric) with greedy balanced assignment, which is
+the standard proven approach for this problem class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..errors import ConfigurationError, ShapeError
+from .signflip import paper_sign
+
+
+def sign_difference(x: np.ndarray, y: np.ndarray) -> int:
+    """Manhattan distance between the sign vectors of two channels (SD)."""
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if x.shape != y.shape:
+        raise ShapeError(f"sign vectors must match: {x.shape} vs {y.shape}")
+    return int(np.abs(paper_sign(x) - paper_sign(y)).sum())
+
+
+def submatrix_sign_difference(weights: np.ndarray) -> int:
+    """Sum of pairwise sign differences between the columns of a sub-matrix.
+
+    This is ``SD(W_Ti)`` in Problem 2; lower means the columns agree on
+    which input channels carry non-negative weights, hence reorder better.
+    """
+    weights = np.asarray(weights)
+    if weights.ndim != 2:
+        raise ShapeError("expected a 2-D (C, group) sub-matrix")
+    signs = paper_sign(weights).astype(np.float64)  # (C, m)
+    m = signs.shape[1]
+    if m < 2:
+        return 0
+    # sum_{i<j} sum_c |s_ci - s_cj|; per row c with k ones among m entries
+    # the pairwise L1 sum is k*(m-k).
+    ones = signs.sum(axis=1)
+    return int((ones * (m - ones)).sum())
+
+
+def clustering_objective(weights: np.ndarray, clusters: List[np.ndarray]) -> int:
+    """Problem 2 objective: total intra-cluster sign difference."""
+    weights = np.asarray(weights)
+    return sum(submatrix_sign_difference(weights[:, np.asarray(c)]) for c in clusters)
+
+
+@dataclass
+class ClusteringHistory:
+    """Per-iteration convergence record (drives Fig. 5(d))."""
+
+    objective: List[int] = field(default_factory=list)
+    moved: List[int] = field(default_factory=list)
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.objective)
+
+
+@dataclass(frozen=True)
+class ClusteringResult:
+    """Final clusters plus the convergence history.
+
+    ``clusters[i]`` holds the original output-channel indices assigned to
+    cluster ``i``; concatenating them yields the output-channel
+    permutation applied to the layer.
+    """
+
+    clusters: List[np.ndarray]
+    history: ClusteringHistory
+    objective: int
+
+    def permutation(self) -> np.ndarray:
+        """Output-channel permutation implied by the cluster order."""
+        return np.concatenate(self.clusters)
+
+
+class BalancedSignClusterer:
+    """Hard-balanced clustering of output channels by weight sign.
+
+    Parameters
+    ----------
+    cluster_size:
+        Number of output channels per cluster (the array-column group
+        width; Fig. 7 sweeps this from 4 to 32).
+    max_iterations:
+        Upper bound on the assign/update iterations.
+    seed:
+        Seed for the k-means++-style centroid initialization.
+
+    Notes
+    -----
+    Assignment is *greedy balanced*: channels are visited in order of how
+    strongly they prefer their best centroid (largest regret between best
+    and second-best open cluster) and placed into the nearest cluster with
+    remaining capacity.  Centroids are coordinate-wise medians, optimal
+    for the Manhattan metric.  The objective is monitored every iteration
+    and the best assignment seen is returned, so the result never degrades
+    with more iterations.
+    """
+
+    def __init__(
+        self,
+        cluster_size: int,
+        max_iterations: int = 30,
+        seed: int = 0,
+        swap_refinement: bool = True,
+    ) -> None:
+        if cluster_size < 1:
+            raise ConfigurationError("cluster_size must be >= 1")
+        if max_iterations < 1:
+            raise ConfigurationError("max_iterations must be >= 1")
+        self.cluster_size = cluster_size
+        self.max_iterations = max_iterations
+        self.seed = seed
+        self.swap_refinement = swap_refinement
+
+    # ------------------------------------------------------------------ #
+    def fit(self, weights: np.ndarray) -> ClusteringResult:
+        """Cluster the columns of a ``(C, K)`` weight matrix.
+
+        ``K`` must be divisible by ``cluster_size`` — a hardware
+        requirement (each cluster fills a column group); pad the layer's
+        output channels first if needed.
+        """
+        weights = np.asarray(weights)
+        if weights.ndim != 2:
+            raise ShapeError("fit expects a 2-D (C, K) weight matrix")
+        c_dim, k = weights.shape
+        if k % self.cluster_size != 0:
+            raise ConfigurationError(
+                f"K={k} not divisible by cluster_size={self.cluster_size}"
+            )
+        n_clusters = k // self.cluster_size
+        signs = paper_sign(weights).astype(np.float64).T  # (K, C) sign vectors
+
+        rng = np.random.default_rng(self.seed)
+        centroids = self._init_centroids(signs, n_clusters, rng)
+        pair_dist = self._pairwise_distances(signs)
+
+        history = ClusteringHistory()
+        best_assignment: np.ndarray | None = None
+        best_objective = np.inf
+        prev_assignment = None
+
+        for _iteration in range(self.max_iterations):
+            assignment = self._balanced_assign(signs, centroids)
+            if self.swap_refinement:
+                assignment = self._refine_swaps(
+                    assignment, pair_dist, n_clusters, budget=2 * k
+                )
+            clusters = [np.flatnonzero(assignment == i) for i in range(n_clusters)]
+            objective = clustering_objective(weights, clusters)
+            moved = (
+                int((assignment != prev_assignment).sum())
+                if prev_assignment is not None
+                else k
+            )
+            history.objective.append(objective)
+            history.moved.append(moved)
+            if objective < best_objective:
+                best_objective = objective
+                best_assignment = assignment
+            if prev_assignment is not None and moved == 0:
+                break
+            prev_assignment = assignment
+            centroids = np.stack(
+                [np.median(signs[cl], axis=0) for cl in clusters], axis=0
+            )
+
+        assert best_assignment is not None
+        best_clusters = [np.flatnonzero(best_assignment == i) for i in range(n_clusters)]
+        return ClusteringResult(
+            clusters=best_clusters, history=history, objective=int(best_objective)
+        )
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _pairwise_distances(signs: np.ndarray) -> np.ndarray:
+        """K x K Manhattan distance matrix between binary sign vectors."""
+        # |a - b| for binary vectors: a(1-b) + (1-a)b
+        return signs @ (1.0 - signs.T) + (1.0 - signs) @ signs.T
+
+    def _refine_swaps(
+        self,
+        assignment: np.ndarray,
+        pair_dist: np.ndarray,
+        n_clusters: int,
+        budget: int = 30,
+    ) -> np.ndarray:
+        """Hill-climb pairwise swaps between clusters (keeps balance).
+
+        Swapping channel i (cluster A) with channel j (cluster B) changes
+        the Problem 2 objective by
+
+            delta = cost(j, A) + cost(i, B) - cost(i, A) - cost(j, B)
+                    - 2 * d(i, j)
+
+        where ``cost(x, T)`` is x's summed distance to cluster T's
+        members.  Each pass applies the single best improving swap per
+        channel pair set; passes repeat until no improving swap exists or
+        the budget is exhausted.  Balance is preserved by construction.
+        """
+        assignment = assignment.copy()
+        k = assignment.shape[0]
+        onehot = np.zeros((k, n_clusters))
+        onehot[np.arange(k), assignment] = 1.0
+        for _ in range(max(1, budget)):
+            cost = pair_dist @ onehot  # cost[x, T] = sum_{y in T} d(x, y)
+            own = cost[np.arange(k), assignment]
+            cost_in_others = cost[:, assignment]  # [x, i] = cost(x, cluster(i))
+            # delta[i, j]: cost(j,A) + cost(i,B) - cost(i,A) - cost(j,B) - 2 d(i,j)
+            delta = (
+                cost_in_others.T + cost_in_others - own[:, None] - own[None, :]
+                - 2.0 * pair_dist
+            )
+            # only cross-cluster pairs are meaningful
+            same = assignment[:, None] == assignment[None, :]
+            delta[same] = 0.0
+            i, j = np.unravel_index(np.argmin(delta), delta.shape)
+            if delta[i, j] >= -1e-9:
+                break
+            ai, aj = assignment[i], assignment[j]
+            assignment[i], assignment[j] = aj, ai
+            onehot[i, ai] = 0.0
+            onehot[i, aj] = 1.0
+            onehot[j, aj] = 0.0
+            onehot[j, ai] = 1.0
+        return assignment
+
+    # ------------------------------------------------------------------ #
+    def _init_centroids(
+        self, signs: np.ndarray, n_clusters: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """k-means++-style spread initialization under the Manhattan metric."""
+        k = signs.shape[0]
+        first = int(rng.integers(k))
+        chosen = [first]
+        dists = np.abs(signs - signs[first]).sum(axis=1)
+        for _ in range(1, n_clusters):
+            total = dists.sum()
+            if total <= 0:
+                chosen.append(int(rng.integers(k)))
+            else:
+                probs = dists / total
+                chosen.append(int(rng.choice(k, p=probs)))
+            dists = np.minimum(dists, np.abs(signs - signs[chosen[-1]]).sum(axis=1))
+        return signs[np.asarray(chosen)].copy()
+
+    def _balanced_assign(self, signs: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        """Greedy balanced assignment: biggest-regret channels pick first."""
+        k = signs.shape[0]
+        n_clusters = centroids.shape[0]
+        capacity = np.full(n_clusters, self.cluster_size, dtype=np.int64)
+        # distance matrix (K, n_clusters) under Manhattan metric
+        dist = np.abs(signs[:, None, :] - centroids[None, :, :]).sum(axis=2)
+        order_regret = np.sort(dist, axis=1)
+        regret = (
+            order_regret[:, 1] - order_regret[:, 0]
+            if n_clusters > 1
+            else np.zeros(k)
+        )
+        assignment = np.full(k, -1, dtype=np.int64)
+        for idx in np.argsort(-regret, kind="stable"):
+            ranked = np.argsort(dist[idx], kind="stable")
+            for cluster in ranked:
+                if capacity[cluster] > 0:
+                    assignment[idx] = cluster
+                    capacity[cluster] -= 1
+                    break
+        assert np.all(assignment >= 0)
+        return assignment
+
+
+def contiguous_clusters(n_channels: int, cluster_size: int) -> List[np.ndarray]:
+    """Baseline grouping: consecutive chunks in the original channel order.
+
+    This is what direct segmentation (no clustering) produces; used by the
+    plain-reorder strategy and as the clustering ablation baseline.
+    """
+    if cluster_size < 1:
+        raise ConfigurationError("cluster_size must be >= 1")
+    idx = np.arange(n_channels)
+    return [idx[i : i + cluster_size] for i in range(0, n_channels, cluster_size)]

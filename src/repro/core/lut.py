@@ -1,0 +1,85 @@
+"""Hardware-support cost model for READ's address LUT (Section IV-D).
+
+Weights are reordered offline, but activations must be fetched in the
+reordered sequence at run time — and different output-channel clusters use
+different sequences.  The paper's fix is an address look-up table in front
+of the IFMAP buffer: a counter walks the LUT, the LUT emits the reordered
+activation address.
+
+This module sizes that LUT and compares it to the on-chip buffer so the
+paper's "negligible overhead" claim (< 2 KB for a 1024-channel layer vs.
+2-64 MB of on-chip SRAM) can be checked quantitatively, and so example
+scripts can report per-layer overheads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+def address_bits(n_entries: int) -> int:
+    """Bits needed to address ``n_entries`` distinct items (>= 1)."""
+    if n_entries < 1:
+        raise ConfigurationError("n_entries must be >= 1")
+    return max(1, math.ceil(math.log2(n_entries)))
+
+
+@dataclass(frozen=True)
+class LutCostModel:
+    """Size/energy model of the activation-address LUT.
+
+    Parameters
+    ----------
+    bytes_per_bit_area_um2:
+        SRAM area density surrogate (um^2 per bit), used only for
+        relative reporting.
+    sram_read_energy_pj_per_bit:
+        Read energy surrogate for the LUT accesses.
+    """
+
+    bytes_per_bit_area_um2: float = 0.07
+    sram_read_energy_pj_per_bit: float = 0.008
+
+    def lut_bits(self, n_channels: int, n_clusters: int = 1, shared: bool = True) -> int:
+        """Total LUT storage in bits.
+
+        Each entry holds one channel address (``ceil(log2(C))`` bits); one
+        table of ``C`` entries per *concurrently active* sequence.  With
+        ``shared=True`` (default) clusters are processed sequentially on
+        the array, so a single table is reloaded per cluster alongside the
+        weights — this is the configuration behind the paper's "< 2 KB for
+        1024 channels" figure.  ``shared=False`` sizes fully resident
+        per-cluster tables.
+        """
+        if n_channels < 1 or n_clusters < 1:
+            raise ConfigurationError("n_channels and n_clusters must be >= 1")
+        entry_bits = address_bits(n_channels)
+        tables = 1 if shared else n_clusters
+        return n_channels * entry_bits * tables
+
+    def lut_bytes(self, n_channels: int, n_clusters: int = 1, shared: bool = True) -> float:
+        """LUT storage in bytes (see :meth:`lut_bits`)."""
+        return self.lut_bits(n_channels, n_clusters, shared) / 8.0
+
+    def area_um2(self, n_channels: int, n_clusters: int = 1, shared: bool = True) -> float:
+        """Area surrogate for relative comparisons."""
+        return self.lut_bits(n_channels, n_clusters, shared) * self.bytes_per_bit_area_um2
+
+    def relative_overhead(
+        self,
+        n_channels: int,
+        buffer_bytes: float,
+        n_clusters: int = 1,
+        shared: bool = True,
+    ) -> float:
+        """LUT bytes as a fraction of the on-chip activation buffer."""
+        if buffer_bytes <= 0:
+            raise ConfigurationError("buffer_bytes must be positive")
+        return self.lut_bytes(n_channels, n_clusters, shared) / buffer_bytes
+
+    def access_energy_pj(self, n_channels: int) -> float:
+        """Energy of one full pass over the LUT (one per output tile)."""
+        return self.lut_bits(n_channels) * self.sram_read_energy_pj_per_bit

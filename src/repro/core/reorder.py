@@ -1,0 +1,197 @@
+"""Input-channel reordering — the paper's Algorithm 1.
+
+Given the weight sub-matrix streamed through one group of array columns,
+choose the order in which input channels are accumulated so that channels
+whose weights are (mostly) non-negative come first.  With ReLU inputs the
+PSUM then rises before it falls, and the sign-flip count collapses to its
+attainable minimum for most output activations.
+
+Two sorting criteria from the paper:
+
+* ``sign_first`` — primary key: number of non-negative weights in the
+  channel; tie-break: larger weight sum first.
+* ``mag_first``  — primary key: channel weight sum; tie-break: more
+  non-negative weights first.
+
+Algorithm 1 implements the tie-break by scaling the secondary metric into
+``[0, 1)`` and adding it to the primary metric; we follow that literally
+(the primary ``sign`` metric is integral, so a sub-unit secondary can only
+break ties).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, ShapeError
+from .signflip import paper_sign
+
+#: Recognized sorting criteria names.
+CRITERIA = ("sign_first", "mag_first")
+
+
+def channel_sign_metric(weights: np.ndarray) -> np.ndarray:
+    """Per-input-channel count of non-negative weights.
+
+    ``weights`` has shape ``(C, Ac)`` — rows are input channels, columns
+    the output channels streamed together.
+    """
+    weights = _as_matrix(weights)
+    return paper_sign(weights).sum(axis=1).astype(np.float64)
+
+
+def channel_magnitude_metric(weights: np.ndarray) -> np.ndarray:
+    """Per-input-channel sum of weights (Algorithm 1, line 4)."""
+    weights = _as_matrix(weights)
+    return weights.sum(axis=1).astype(np.float64)
+
+
+def _as_matrix(weights) -> np.ndarray:
+    w = np.asarray(weights)
+    if w.ndim == 1:
+        w = w[:, None]
+    if w.ndim != 2:
+        raise ShapeError(f"weight matrix must be 1-D or 2-D, got shape {w.shape}")
+    return w
+
+
+def _scale_unit(values: np.ndarray) -> np.ndarray:
+    """Scale values into [0, 1) as Algorithm 1's tie-break term."""
+    lo = values.min()
+    hi = values.max()
+    if hi == lo:
+        return np.zeros_like(values, dtype=np.float64)
+    return (values - lo) / (hi - lo) * (1.0 - 1e-9)
+
+
+def sort_input_channels(weights, criteria: str = "sign_first") -> np.ndarray:
+    """Algorithm 1: return the input-channel order ``S`` (best channel first).
+
+    Parameters
+    ----------
+    weights:
+        Sub-matrix of shape ``(C, Ac)`` (or a 1-D vector for a single
+        output channel).
+    criteria:
+        ``"sign_first"`` or ``"mag_first"``.
+
+    Returns
+    -------
+    Permutation array ``S`` of length ``C``: process channel ``S[0]``
+    first.  Sorting is descending in the combined metric and stable.
+    """
+    weights = _as_matrix(weights)
+    metric_sign = channel_sign_metric(weights)
+    metric_mag = channel_magnitude_metric(weights)
+    if criteria == "sign_first":
+        metric = metric_sign + _scale_unit(metric_mag)
+    elif criteria == "mag_first":
+        metric = metric_mag + _scale_unit(metric_sign)
+    else:
+        raise ConfigurationError(f"criteria must be one of {CRITERIA}, got {criteria!r}")
+    return np.argsort(-metric, kind="stable")
+
+
+def optimal_single_channel_order(weights) -> np.ndarray:
+    """Provably flip-minimal order for a single output channel.
+
+    All non-negative weights first (any internal order), then negatives —
+    the paper's heuristic is exact for ``Ac = 1``.  Non-negative weights
+    are sorted descending and negatives ascending-in-magnitude-last so the
+    PSUM peak is reached early (useful for the Fig. 9 visualization).
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 1:
+        raise ShapeError("optimal_single_channel_order expects a 1-D weight vector")
+    return np.argsort(-w, kind="stable")
+
+
+def segment_matrix(weights: np.ndarray, group_size: int) -> List[np.ndarray]:
+    """Split a ``(C, K)`` weight matrix column-wise into array-width groups.
+
+    The last group may be narrower if ``K`` is not a multiple of
+    ``group_size`` (the systolic array simply leaves columns idle).
+    """
+    weights = np.asarray(weights)
+    if weights.ndim != 2:
+        raise ShapeError("segment_matrix expects a 2-D (C, K) matrix")
+    if group_size < 1:
+        raise ConfigurationError("group_size must be >= 1")
+    k = weights.shape[1]
+    return [weights[:, i : i + group_size] for i in range(0, k, group_size)]
+
+
+@dataclass(frozen=True)
+class ReorderResult:
+    """Outcome of reordering one column group.
+
+    Attributes
+    ----------
+    columns:
+        Indices of the output channels (columns of the original matrix)
+        in this group.
+    order:
+        Input-channel sequence ``S`` for the group.
+    weights:
+        The reordered sub-matrix ``W[order][:, columns]``.
+    """
+
+    columns: np.ndarray
+    order: np.ndarray
+    weights: np.ndarray
+
+
+def reorder_groups(
+    weights: np.ndarray,
+    group_columns: Iterable[Sequence[int]],
+    criteria: str = "sign_first",
+) -> List[ReorderResult]:
+    """Reorder input channels independently for each output-channel group.
+
+    ``group_columns`` is an iterable of column-index collections — e.g.
+    contiguous chunks for plain reordering, or cluster memberships from
+    :mod:`repro.core.clustering` for cluster-then-reorder.
+    """
+    weights = np.asarray(weights)
+    if weights.ndim != 2:
+        raise ShapeError("reorder_groups expects a 2-D (C, K) matrix")
+    results = []
+    for cols in group_columns:
+        cols = np.asarray(cols, dtype=np.int64)
+        if cols.size == 0:
+            raise ConfigurationError("empty column group")
+        if np.any((cols < 0) | (cols >= weights.shape[1])):
+            raise ConfigurationError(f"column indices {cols} out of range")
+        sub = weights[:, cols]
+        order = sort_input_channels(sub, criteria=criteria)
+        results.append(ReorderResult(columns=cols, order=order, weights=sub[order]))
+    return results
+
+
+def nonnegative_ratio_by_quantile(weights: np.ndarray, n_quantiles: int = 100) -> np.ndarray:
+    """Fraction of non-negative weights per row-position quantile (Fig. 5).
+
+    Splits the row dimension (input channels, in their current order) into
+    ``n_quantiles`` equal bins and returns each bin's non-negative weight
+    ratio.  The paper plots this for the initial and reordered matrices to
+    show non-negative weights concentrating at the front.
+    """
+    weights = _as_matrix(weights)
+    c = weights.shape[0]
+    if n_quantiles < 1:
+        raise ConfigurationError("n_quantiles must be >= 1")
+    n_quantiles = min(n_quantiles, c)
+    bins = np.array_split(np.arange(c), n_quantiles)
+    return np.array([paper_sign(weights[idx]).mean() for idx in bins])
+
+
+def top_fraction_nonnegative_ratio(weights: np.ndarray, fraction: float) -> float:
+    """Non-negative ratio of the top ``fraction`` of rows (Fig. 5(d) metric)."""
+    weights = _as_matrix(weights)
+    if not 0 < fraction <= 1:
+        raise ConfigurationError("fraction must be in (0, 1]")
+    top = max(1, int(round(weights.shape[0] * fraction)))
+    return float(paper_sign(weights[:top]).mean())

@@ -1,0 +1,126 @@
+"""(De)serialization of READ mapping plans.
+
+A mapping plan is deployment state: the reordered weight layout is baked
+into the weight binary and the per-cluster input orders are written into
+the accelerator's address LUT at load time.  This module round-trips
+:class:`~repro.core.pipeline.LayerMappingPlan` and
+:class:`~repro.core.pipeline.NetworkMappingPlan` through plain JSON (no
+pickle — the artifact crosses trust boundaries), so a plan computed once
+at deployment-preparation time can be shipped next to the model.
+
+Weights themselves are *not* serialized — the plan stores the column
+groups and input orders, and :func:`plan_from_dict` re-slices the weight
+matrices the caller supplies, verifying shape agreement.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+import numpy as np
+
+from ..errors import ConfigurationError, ShapeError
+from .pipeline import LayerMappingPlan, MappingStrategy, NetworkMappingPlan
+from .reorder import ReorderResult
+
+#: Format marker for forward compatibility.
+FORMAT_VERSION = 1
+
+
+def plan_to_dict(plan: LayerMappingPlan) -> dict:
+    """JSON-safe dictionary of one layer plan (orders + groups only)."""
+    return {
+        "version": FORMAT_VERSION,
+        "strategy": plan.strategy.value,
+        "criteria": plan.criteria,
+        "n_input_channels": plan.n_input_channels,
+        "n_output_channels": plan.n_output_channels,
+        "groups": [
+            {"columns": g.columns.tolist(), "order": g.order.tolist()}
+            for g in plan.groups
+        ],
+    }
+
+
+def plan_from_dict(data: dict, weights: np.ndarray) -> LayerMappingPlan:
+    """Rebuild a layer plan against the weight matrix it was made for."""
+    if data.get("version") != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported plan format version {data.get('version')!r}"
+        )
+    weights = np.asarray(weights)
+    if weights.ndim != 2:
+        raise ShapeError("weights must be a 2-D (C_eff, K) matrix")
+    c_eff, k = weights.shape
+    if (c_eff, k) != (data["n_input_channels"], data["n_output_channels"]):
+        raise ShapeError(
+            f"plan was built for {data['n_input_channels']}x"
+            f"{data['n_output_channels']}, got {c_eff}x{k}"
+        )
+    groups = []
+    seen_cols: set = set()
+    for entry in data["groups"]:
+        columns = np.asarray(entry["columns"], dtype=np.int64)
+        order = np.asarray(entry["order"], dtype=np.int64)
+        if sorted(order.tolist()) != list(range(c_eff)):
+            raise ConfigurationError("group order is not a permutation of channels")
+        if np.any((columns < 0) | (columns >= k)):
+            raise ConfigurationError("group columns out of range")
+        overlap = seen_cols.intersection(columns.tolist())
+        if overlap:
+            raise ConfigurationError(f"columns {sorted(overlap)} appear in two groups")
+        seen_cols.update(columns.tolist())
+        groups.append(
+            ReorderResult(columns=columns, order=order, weights=weights[order][:, columns])
+        )
+    if len(seen_cols) != k:
+        raise ConfigurationError("groups do not cover every output channel")
+    return LayerMappingPlan(
+        strategy=MappingStrategy.from_name(data["strategy"]),
+        groups=groups,
+        n_input_channels=c_eff,
+        n_output_channels=k,
+        criteria=data["criteria"],
+        clustering=None,  # history is not part of the deployment artifact
+    )
+
+
+def network_plan_to_json(plan: NetworkMappingPlan) -> str:
+    """Serialize a whole-network plan to a JSON string."""
+    payload = {
+        "version": FORMAT_VERSION,
+        "layers": {name: plan_to_dict(p) for name, p in plan.layers.items()},
+        "incoming_permutations": {
+            name: perm.tolist() for name, perm in plan.incoming_permutations.items()
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def network_plan_from_json(
+    text: str, layer_weights: Dict[str, np.ndarray]
+) -> NetworkMappingPlan:
+    """Rebuild a network plan against the layer weight matrices.
+
+    ``layer_weights`` must contain exactly the serialized layers, each in
+    the *propagated* row order the plan was built on (the order
+    :func:`repro.core.pipeline.plan_network` applies internally).
+    """
+    payload = json.loads(text)
+    if payload.get("version") != FORMAT_VERSION:
+        raise ConfigurationError("unsupported network plan format version")
+    if set(payload["layers"]) != set(layer_weights):
+        raise ConfigurationError(
+            f"layer sets differ: plan has {sorted(payload['layers'])}, "
+            f"weights have {sorted(layer_weights)}"
+        )
+    layers = {
+        name: plan_from_dict(entry, layer_weights[name])
+        for name, entry in payload["layers"].items()
+    }
+    incoming = {
+        name: np.asarray(perm, dtype=np.int64)
+        for name, perm in payload["incoming_permutations"].items()
+    }
+    return NetworkMappingPlan(layers=layers, incoming_permutations=incoming)

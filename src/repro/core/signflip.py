@@ -1,0 +1,154 @@
+"""Sign-flip metrics of partial-sum accumulation (paper Section IV-A).
+
+READ's objective is the number of PSUM sign-bit flips during a
+convolution's accumulation:
+
+    SF = sum_j  sign(prefix_j)  XOR  sign(prefix_{j+1})
+
+where ``prefix_j`` is the running sum after j products and ``sign(.)``
+follows the paper's convention (1 for non-negative, 0 for negative).  The
+PSUM register initializes to 0, so the flip count equals the number of
+sign changes along the sequence ``[0, prefix_1, ..., prefix_C]`` — which
+is also exactly what the hardware sign bit does.
+
+Two theoretical facts from the paper are encoded here and property-tested:
+
+* **Compute correctness** — any permutation of the products leaves the
+  final sum unchanged.
+* **Sign-flip optimality** — with non-negative inputs, computing all
+  non-negative-weight products first yields 0 flips when the output is
+  non-negative and exactly 1 when it is negative (the attainable minimum).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..hw import fixedpoint as fp
+
+
+def paper_sign(values) -> np.ndarray:
+    """The paper's ``sign(.)``: 1 for non-negative inputs, 0 for negative."""
+    return (np.asarray(values) >= 0).astype(np.int64)
+
+
+def prefix_sums(products, width: int | None = None, initial: int = 0) -> np.ndarray:
+    """Running PSUM values after each product, along the last axis.
+
+    With ``width`` given, the prefix wraps into a two's-complement register
+    of that width (the hardware behaviour); otherwise exact integers are
+    used (the algorithmic idealization — identical unless the accumulator
+    overflows, which the 24-bit register makes impossible for <= 256
+    int8*uint8 products).
+    """
+    prefix = np.cumsum(np.asarray(products, dtype=np.int64), axis=-1) + np.int64(initial)
+    if width is not None:
+        prefix = fp.wrap(prefix, width)
+    return prefix
+
+
+def count_sign_flips(products, width: int | None = None, initial: int = 0) -> np.ndarray:
+    """Number of PSUM sign flips per accumulation (last axis = cycles).
+
+    >>> int(count_sign_flips([-3, 21, -10, 4]))   # 0,-3,18,8,12: one dip
+    2
+    """
+    products = np.asarray(products, dtype=np.int64)
+    if products.shape[-1] == 0:
+        raise ShapeError("need at least one product to accumulate")
+    prefix = prefix_sums(products, width=width, initial=initial)
+    signs = paper_sign(prefix)
+    init_sign = paper_sign(np.asarray(initial))
+    first_flip = signs[..., 0] ^ init_sign
+    later_flips = signs[..., 1:] ^ signs[..., :-1]
+    return first_flip + later_flips.sum(axis=-1)
+
+
+def minimum_sign_flips(final_values) -> np.ndarray:
+    """Attainable minimum flips given the final output value (Section IV-A).
+
+    0 if the output activation is non-negative, else 1 (PSUM starts at 0
+    and must end negative).
+    """
+    return (np.asarray(final_values) < 0).astype(np.int64)
+
+
+def sign_flip_rate(products, width: int | None = None) -> float:
+    """Sign flips per cycle over a batch of accumulations (Fig. 2 x-axis)."""
+    products = np.asarray(products, dtype=np.int64)
+    total = count_sign_flips(products, width=width).sum()
+    return float(total) / products.size
+
+
+def is_rise_then_fall(products) -> np.ndarray:
+    """Check the reordered-PSUM shape property (Section IV-A).
+
+    With non-negative inputs and non-negative-weight products first, the
+    PSUM trajectory is non-decreasing then non-increasing.  Returns a
+    boolean per accumulation.
+    """
+    prefix = prefix_sums(products)
+    steps = np.diff(np.concatenate([np.zeros(prefix.shape[:-1] + (1,), dtype=np.int64), prefix], axis=-1), axis=-1)
+    rising = steps >= 0
+    # once a negative step occurs, all subsequent steps must be <= 0
+    seen_fall = np.cumsum(~rising, axis=-1) > 0
+    violation = seen_fall & (steps > 0)
+    return ~violation.any(axis=-1)
+
+
+def conv1d_sign_flips(acts, weights, order=None, width: int | None = None) -> int:
+    """Sign flips of a single 1-D convolution computed in a given order.
+
+    This is the paper's Fig. 3 scenario: one output activation computed as
+    ``sum_i acts[i] * weights[i]`` in the order given by ``order`` (default:
+    natural order).
+
+    >>> conv1d_sign_flips([3, 3, 2, 1], [-1, 7, -5, 4])
+    4
+    >>> conv1d_sign_flips([3, 3, 2, 1], [-1, 7, -5, 4], order=[3, 1, 2, 0])
+    2
+    """
+    acts = np.asarray(acts, dtype=np.int64)
+    weights = np.asarray(weights, dtype=np.int64)
+    if acts.shape != weights.shape:
+        raise ShapeError(f"acts {acts.shape} and weights {weights.shape} must match")
+    if order is not None:
+        order = np.asarray(order)
+        acts = acts[..., order]
+        weights = weights[..., order]
+    return int(count_sign_flips(acts * weights, width=width))
+
+
+def matrix_sign_flips(
+    act_matrix: np.ndarray,
+    weight_matrix: np.ndarray,
+    width: int | None = None,
+) -> np.ndarray:
+    """Sign flips for every (pixel, output-channel) accumulation of a GEMM.
+
+    Parameters
+    ----------
+    act_matrix:
+        Shape ``(n_pixels, C)`` — one row of reduction operands per output
+        pixel (im2col layout).
+    weight_matrix:
+        Shape ``(C, K)`` — one column per output channel.
+
+    Returns
+    -------
+    Array of shape ``(n_pixels, K)`` with the flip count of each output
+    activation's accumulation, in the *given* row order of the matrices.
+    """
+    act_matrix = np.asarray(act_matrix, dtype=np.int64)
+    weight_matrix = np.asarray(weight_matrix, dtype=np.int64)
+    if act_matrix.ndim != 2 or weight_matrix.ndim != 2:
+        raise ShapeError("act_matrix and weight_matrix must be 2-D")
+    if act_matrix.shape[1] != weight_matrix.shape[0]:
+        raise ShapeError(
+            f"reduction dims differ: acts {act_matrix.shape} vs weights {weight_matrix.shape}"
+        )
+    # products[p, c, k] accumulated over c
+    products = act_matrix[:, :, None] * weight_matrix[None, :, :]
+    products = np.swapaxes(products, 1, 2)  # (pixels, K, C): cycles last
+    return count_sign_flips(products, width=width)

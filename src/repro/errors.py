@@ -1,0 +1,31 @@
+"""Exception hierarchy for the READ reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or invoked with inconsistent parameters."""
+
+
+class ShapeError(ReproError):
+    """An array argument has an incompatible shape."""
+
+
+class QuantizationError(ReproError):
+    """A value cannot be represented in the requested fixed-point format."""
+
+
+class MappingError(ReproError):
+    """A layer cannot be mapped onto the accelerator configuration."""
+
+
+class TrainingError(ReproError):
+    """Model training failed or was invoked in an invalid state."""

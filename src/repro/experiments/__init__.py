@@ -1,0 +1,60 @@
+"""Experiment runners: one module per table/figure of the paper.
+
+Every runner exposes ``run(...) -> result`` and ``render(result) -> str``;
+the CLI (``python -m repro``) and the benchmark suite are thin wrappers
+around these.
+"""
+
+from . import fig2, fig3, fig5, fig7, fig8, fig9, fig10, fig11, table1
+from .common import (
+    ALL_STRATEGIES,
+    MODEL_RECIPES,
+    SCALES,
+    ExperimentScale,
+    LayerTerRecord,
+    TrainedBundle,
+    geometric_mean,
+    get_bundle,
+    get_scale,
+    measure_layer_ters,
+    record_operand_streams,
+    render_table,
+)
+
+#: Registry used by the CLI: name -> module with run()/render()/main().
+RUNNERS = {
+    "table1": table1,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig5": fig5,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+}
+
+__all__ = [
+    "ALL_STRATEGIES",
+    "MODEL_RECIPES",
+    "RUNNERS",
+    "SCALES",
+    "ExperimentScale",
+    "LayerTerRecord",
+    "TrainedBundle",
+    "fig10",
+    "fig11",
+    "fig2",
+    "fig3",
+    "fig5",
+    "fig7",
+    "fig8",
+    "fig9",
+    "geometric_mean",
+    "get_bundle",
+    "get_scale",
+    "measure_layer_ters",
+    "record_operand_streams",
+    "render_table",
+    "table1",
+]

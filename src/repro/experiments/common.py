@@ -1,0 +1,320 @@
+"""Shared infrastructure for the paper-figure experiment runners.
+
+* :class:`ExperimentScale` — one knob that sizes every experiment.  The
+  default ``small`` scale finishes each figure in seconds-to-minutes on a
+  CPU; ``paper`` runs the full-size study.  Selected via the
+  ``REPRO_SCALE`` environment variable or per-call argument.
+* :func:`get_bundle` — trains (or loads from the on-disk cache) one of
+  the paper's model/dataset combinations and returns the float model, the
+  calibrated quantized network and the evaluation data.
+* :func:`measure_layer_ters` — the central measurement: replay each conv
+  layer's real quantized operand stream through the systolic-array DTA
+  under every requested strategy and PVTA corner.
+* small text-table rendering used by all runners and the CLI.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..arch import AcceleratorConfig, SystolicArraySimulator, sample_pixel_rows
+from ..core import MappingStrategy, plan_layer
+from ..errors import ConfigurationError
+from ..hw.variations import PvtaCondition
+from ..nn.datasets import load_dataset
+from ..nn.layers import BatchNorm2d
+from ..nn.models import ClassifierNetwork, build_model
+from ..nn.quantize import QuantizedNetwork
+from ..nn.training import Trainer
+
+#: All strategies compared across the figures, in plotting order.
+ALL_STRATEGIES = (
+    MappingStrategy.BASELINE,
+    MappingStrategy.REORDER,
+    MappingStrategy.CLUSTER_THEN_REORDER,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Sizing knobs shared by every experiment runner."""
+
+    name: str
+    n_train: int
+    n_test: int
+    epochs: int
+    width: float
+    ter_pixels: int      # GEMM rows sampled per layer for DTA
+    ter_images: int      # images forwarded to record operand streams
+    inject_n: int        # test images used in fault-injection accuracy
+    n_trials: int        # repeated injection trials per corner
+
+
+SCALES: Dict[str, ExperimentScale] = {
+    "tiny": ExperimentScale(
+        name="tiny", n_train=384, n_test=128, epochs=3, width=0.125,
+        ter_pixels=24, ter_images=2, inject_n=64, n_trials=2,
+    ),
+    "small": ExperimentScale(
+        name="small", n_train=768, n_test=256, epochs=4, width=0.125,
+        ter_pixels=48, ter_images=4, inject_n=128, n_trials=3,
+    ),
+    "paper": ExperimentScale(
+        name="paper", n_train=4096, n_test=1024, epochs=12, width=0.25,
+        ter_pixels=128, ter_images=8, inject_n=128, n_trials=5,
+    ),
+}
+
+
+def get_scale(name: Optional[str] = None) -> ExperimentScale:
+    """Resolve the experiment scale (arg > $REPRO_SCALE > ``small``)."""
+    name = name or os.environ.get("REPRO_SCALE", "small")
+    if name not in SCALES:
+        raise ConfigurationError(f"unknown scale {name!r}; expected one of {sorted(SCALES)}")
+    return SCALES[name]
+
+
+#: The paper's four model/dataset combinations (Section V-A).
+MODEL_RECIPES: Dict[str, Tuple[str, str]] = {
+    "vgg16_cifar10": ("vgg16", "cifar10_like"),
+    "resnet18_cifar10": ("resnet18", "cifar10_like"),
+    "vgg16_cifar100": ("vgg16", "cifar100_like"),
+    "resnet34_imagenet32": ("resnet34", "imagenet32_like"),
+}
+
+
+@dataclass
+class TrainedBundle:
+    """A trained model plus everything the experiments consume."""
+
+    recipe: str
+    model: ClassifierNetwork
+    qnet: QuantizedNetwork
+    x_test: np.ndarray
+    y_test: np.ndarray
+    float_accuracy: float
+    quant_accuracy: float
+    scale: ExperimentScale
+
+
+_BUNDLE_CACHE: Dict[Tuple[str, str], TrainedBundle] = {}
+
+
+def cache_dir() -> Path:
+    """On-disk cache for trained parameters (repo-local, git-ignored)."""
+    path = Path(os.environ.get("REPRO_CACHE", Path(__file__).resolve().parents[3] / ".cache"))
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _state_arrays(model: ClassifierNetwork) -> Dict[str, np.ndarray]:
+    """Deterministically-keyed snapshot of parameters and BN statistics."""
+    state = {}
+    for i, p in enumerate(model.parameters()):
+        state[f"p{i}"] = p.data
+    bn_idx = 0
+    for module in model.modules():
+        if isinstance(module, BatchNorm2d):
+            state[f"rm{bn_idx}"] = module.running_mean
+            state[f"rv{bn_idx}"] = module.running_var
+            bn_idx += 1
+    return state
+
+
+def save_model_state(model: ClassifierNetwork, path: Path) -> None:
+    """Persist a trained model's parameters to ``path`` (npz)."""
+    np.savez_compressed(path, **_state_arrays(model))
+
+
+def load_model_state(model: ClassifierNetwork, path: Path) -> None:
+    """Restore parameters saved by :func:`save_model_state` in place."""
+    with np.load(path) as data:
+        for i, p in enumerate(model.parameters()):
+            p.data[...] = data[f"p{i}"]
+        bn_idx = 0
+        for module in model.modules():
+            if isinstance(module, BatchNorm2d):
+                module.running_mean[...] = data[f"rm{bn_idx}"]
+                module.running_var[...] = data[f"rv{bn_idx}"]
+                bn_idx += 1
+
+
+def get_bundle(recipe: str, scale: Optional[ExperimentScale] = None, seed: int = 0) -> TrainedBundle:
+    """Train-or-load one of the paper's model/dataset combinations.
+
+    Results are cached in-memory per (recipe, scale) and on disk keyed by
+    the training hyper-parameters, so repeated experiment runs re-use one
+    training run.
+    """
+    scale = scale or get_scale()
+    key = (recipe, scale.name)
+    if key in _BUNDLE_CACHE:
+        return _BUNDLE_CACHE[key]
+    if recipe not in MODEL_RECIPES:
+        raise ConfigurationError(f"unknown recipe {recipe!r}; expected one of {sorted(MODEL_RECIPES)}")
+    model_name, dataset_name = MODEL_RECIPES[recipe]
+
+    dataset = load_dataset(dataset_name)
+    x_train, y_train, x_test, y_test = dataset.train_test(
+        n_train=scale.n_train, n_test=scale.n_test, seed=seed
+    )
+    n_classes = dataset.spec.n_classes
+    model = build_model(model_name, n_classes=n_classes, width=scale.width, seed=seed)
+
+    state_path = cache_dir() / (
+        f"{recipe}-{scale.name}-w{scale.width}-n{scale.n_train}-e{scale.epochs}-s{seed}.npz"
+    )
+    trainer = Trainer(model, lr=0.03, batch_size=32, seed=seed)
+    if state_path.exists():
+        load_model_state(model, state_path)
+        float_acc = trainer.evaluate(x_test, y_test)
+    else:
+        history = trainer.fit(x_train, y_train, epochs=scale.epochs, x_test=x_test, y_test=y_test)
+        float_acc = history.final_test_accuracy
+        save_model_state(model, state_path)
+
+    qnet = QuantizedNetwork(model)
+    qnet.calibrate(x_train[: min(64, x_train.shape[0])])
+    quant_acc = qnet.evaluate(x_test[: scale.inject_n], y_test[: scale.inject_n])
+
+    bundle = TrainedBundle(
+        recipe=recipe,
+        model=model,
+        qnet=qnet,
+        x_test=x_test,
+        y_test=y_test,
+        float_accuracy=float_acc,
+        quant_accuracy=quant_acc,
+        scale=scale,
+    )
+    _BUNDLE_CACHE[key] = bundle
+    return bundle
+
+
+# ---------------------------------------------------------------------- #
+# Layer-wise TER measurement
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class LayerTerRecord:
+    """TER measurement of one (layer, strategy) pair across corners."""
+
+    layer: str
+    strategy: str
+    ter_by_corner: Dict[str, float]
+    sign_flip_rate: float
+    n_macs_per_output: int
+
+
+def record_operand_streams(
+    qnet: QuantizedNetwork, x_images: np.ndarray
+) -> Dict[str, np.ndarray]:
+    """One recorded quantized forward: layer name -> im2col operand matrix."""
+    qnet.set_recording(True)
+    try:
+        qnet.forward(x_images)
+        streams = {}
+        for qc in qnet.qconvs():
+            if qc.recorded_cols is None:
+                raise ConfigurationError(f"layer {qc.name} recorded no operands")
+            streams[qc.name] = qc.recorded_cols
+        return streams
+    finally:
+        qnet.set_recording(False)
+
+
+def measure_layer_ters(
+    qnet: QuantizedNetwork,
+    x_images: np.ndarray,
+    corners: Sequence[PvtaCondition],
+    strategies: Sequence[MappingStrategy] = ALL_STRATEGIES,
+    config: Optional[AcceleratorConfig] = None,
+    group_size: Optional[int] = None,
+    max_pixels: int = 48,
+    seed: int = 0,
+) -> Dict[str, List[LayerTerRecord]]:
+    """Measure every conv layer's TER under each strategy and corner.
+
+    Returns ``{strategy_value: [LayerTerRecord per layer in order]}``.
+    The activation streams are the *real* quantized intermediate tensors
+    produced by forwarding ``x_images``, sub-sampled to ``max_pixels``
+    GEMM rows per layer (an unbiased per-cycle average).
+    """
+    config = config or AcceleratorConfig()
+    group_size = group_size or config.cols
+    sim = SystolicArraySimulator(config)
+    rng = np.random.default_rng(seed)
+    streams = record_operand_streams(qnet, x_images)
+
+    results: Dict[str, List[LayerTerRecord]] = {s.value: [] for s in strategies}
+    for qc in qnet.qconvs():
+        cols = streams[qc.name]
+        rows = sample_pixel_rows(cols.shape[0], max_pixels, rng)
+        acts = cols[rows]
+        wmat = qc.lowered_weight_matrix()
+        for strategy in strategies:
+            plan = plan_layer(wmat, group_size=group_size, strategy=strategy, seed=seed)
+            reports = sim.run_gemm_corners(acts, wmat, corners, plan)
+            any_report = next(iter(reports.values()))
+            results[strategy.value].append(
+                LayerTerRecord(
+                    layer=qc.name,
+                    strategy=strategy.value,
+                    ter_by_corner={name: r.ter for name, r in reports.items()},
+                    sign_flip_rate=any_report.sign_flip_rate,
+                    n_macs_per_output=any_report.n_macs_per_output,
+                )
+            )
+    return results
+
+
+def ters_for_corner(
+    records: Dict[str, List[LayerTerRecord]], strategy: MappingStrategy, corner_name: str
+) -> Dict[str, float]:
+    """Extract ``{layer: TER}`` for one strategy at one corner."""
+    return {r.layer: r.ter_by_corner[corner_name] for r in records[strategy.value]}
+
+
+def macs_per_layer(records: Dict[str, List[LayerTerRecord]]) -> Dict[str, int]:
+    """Extract ``{layer: N}`` (Eq. 1 MAC counts) from a measurement."""
+    first = next(iter(records.values()))
+    return {r.layer: r.n_macs_per_output for r in first}
+
+
+# ---------------------------------------------------------------------- #
+# Text rendering
+# ---------------------------------------------------------------------- #
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width text table (all runners print through this)."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), max((len(r[i]) for r in cells), default=0))
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if 0 < abs(value) < 1e-2 or abs(value) >= 1e5:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (used for 'average TER reduction' summaries)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0 or np.any(arr <= 0):
+        raise ConfigurationError("geometric mean requires positive values")
+    return float(np.exp(np.log(arr).mean()))

@@ -1,0 +1,124 @@
+"""Fig. 10: inference accuracy under PVTA corners (VGG-16 & ResNet-18).
+
+The full READ pipeline: per-layer TERs measured on the systolic array at
+each of the six corners -> Eq. 1 output BERs -> repeated bit-flip
+injection inference -> accuracy.  The paper's qualitative result: the
+baseline collapses under aging (especially combined with VT fluctuation)
+while reorder and cluster-then-reorder retain accuracy over the whole
+range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core import MappingStrategy
+from ..faults import FaultInjectionEvaluator, bers_from_layer_ters
+from ..hw.variations import PAPER_CORNERS, PvtaCondition
+from .common import (
+    ALL_STRATEGIES,
+    ExperimentScale,
+    get_bundle,
+    get_scale,
+    macs_per_layer,
+    measure_layer_ters,
+    render_table,
+    ters_for_corner,
+)
+
+
+@dataclass(frozen=True)
+class AccuracyGrid:
+    """Accuracy of one network: strategy x corner."""
+
+    recipe: str
+    corners: List[str]
+    accuracy: Dict[str, List[float]]   # strategy -> accuracy per corner
+    mean_ber: Dict[str, List[float]]   # strategy -> mean injected BER per corner
+    clean_accuracy: float
+    topk: int
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    """Both networks of Fig. 10."""
+
+    grids: List[AccuracyGrid]
+
+
+def measure_accuracy_grid(
+    recipe: str,
+    scale: ExperimentScale,
+    corners: Sequence[PvtaCondition] = PAPER_CORNERS,
+    strategies: Sequence[MappingStrategy] = ALL_STRATEGIES,
+    topk: int = 1,
+    only_layers: Optional[Sequence[str]] = None,
+) -> AccuracyGrid:
+    """Accuracy grid of one network (shared with Fig. 11)."""
+    bundle = get_bundle(recipe, scale)
+    records = measure_layer_ters(
+        bundle.qnet,
+        bundle.x_test[: scale.ter_images],
+        corners=list(corners),
+        strategies=strategies,
+        max_pixels=scale.ter_pixels,
+    )
+    n_macs = macs_per_layer(records)
+    evaluator = FaultInjectionEvaluator(bundle.qnet, n_trials=scale.n_trials)
+    x = bundle.x_test[: scale.inject_n]
+    y = bundle.y_test[: scale.inject_n]
+
+    accuracy: Dict[str, List[float]] = {s.value: [] for s in strategies}
+    mean_ber: Dict[str, List[float]] = {s.value: [] for s in strategies}
+    for strategy in strategies:
+        for corner in corners:
+            ters = ters_for_corner(records, strategy, corner.name)
+            bers = bers_from_layer_ters(ters, n_macs, only_layers=only_layers)
+            # stable per-corner seed (str hash is process-salted, avoid it)
+            corner_seed = sum(ord(ch) for ch in corner.name) % 10000
+            outcome = evaluator.run(x, y, bers, topk=topk, base_seed=corner_seed)
+            accuracy[strategy.value].append(outcome.mean_accuracy)
+            mean_ber[strategy.value].append(outcome.mean_ber)
+    return AccuracyGrid(
+        recipe=recipe,
+        corners=[c.name for c in corners],
+        accuracy=accuracy,
+        mean_ber=mean_ber,
+        clean_accuracy=bundle.quant_accuracy,
+        topk=topk,
+    )
+
+
+def run(
+    scale: Optional[ExperimentScale] = None,
+    recipes: Optional[List[str]] = None,
+) -> Fig10Result:
+    """Fig. 10: top-1 accuracy of VGG-16 and ResNet-18 on CIFAR-10-like."""
+    scale = scale or get_scale()
+    recipes = recipes or ["vgg16_cifar10", "resnet18_cifar10"]
+    grids = [measure_accuracy_grid(recipe, scale) for recipe in recipes]
+    return Fig10Result(grids=grids)
+
+
+def render_grid(grid: AccuracyGrid) -> str:
+    """One accuracy table (strategies as rows, corners as columns)."""
+    headers = ["Strategy"] + grid.corners
+    rows = []
+    for strategy, values in grid.accuracy.items():
+        rows.append([strategy] + [f"{v * 100:.1f}%" for v in values])
+    return (
+        f"{grid.recipe} (clean quantized top-1 accuracy "
+        f"{grid.clean_accuracy * 100:.1f}%; the Ideal column is the clean "
+        f"top-{grid.topk} accuracy of the injected subset):\n"
+        + render_table(headers, rows)
+    )
+
+
+def render(result: Fig10Result) -> str:
+    """Render both networks' accuracy grids."""
+    return "\n\n".join(render_grid(grid) for grid in result.grids)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(render(run()))

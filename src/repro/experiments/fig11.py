@@ -1,0 +1,56 @@
+"""Fig. 11: top-3 accuracy on the larger benchmarks under PVTA corners.
+
+VGG-16 on CIFAR-100-like and ResNet-34 on ImageNet-32-like, top-3
+accuracy, with errors injected only into the vulnerable early layers —
+exactly the paper's cost-saving protocol ("to speed up the simulation, we
+injected errors only into several vulnerable layers (those closer to the
+inputs)").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .common import ExperimentScale, get_bundle, get_scale
+from .fig10 import AccuracyGrid, measure_accuracy_grid, render_grid
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    """Both networks of Fig. 11 (top-3 accuracy grids)."""
+
+    grids: List[AccuracyGrid]
+    injected_layers: int
+
+
+def run(
+    scale: Optional[ExperimentScale] = None,
+    recipes: Optional[List[str]] = None,
+    n_vulnerable_layers: int = 4,
+    topk: int = 3,
+) -> Fig11Result:
+    """Fig. 11 with injection restricted to the first ``n`` conv layers."""
+    scale = scale or get_scale()
+    recipes = recipes or ["vgg16_cifar100", "resnet34_imagenet32"]
+    grids = []
+    for recipe in recipes:
+        bundle = get_bundle(recipe, scale)
+        early = [qc.name for qc in bundle.qnet.qconvs()[:n_vulnerable_layers]]
+        grids.append(
+            measure_accuracy_grid(recipe, scale, topk=topk, only_layers=early)
+        )
+    return Fig11Result(grids=grids, injected_layers=n_vulnerable_layers)
+
+
+def render(result: Fig11Result) -> str:
+    """Render both top-3 accuracy grids."""
+    note = (
+        f"(errors injected into the first {result.injected_layers} conv layers "
+        "only, per the paper's protocol)\n\n"
+    )
+    return note + "\n\n".join(render_grid(grid) for grid in result.grids)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(render(run()))

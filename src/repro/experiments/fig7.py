@@ -1,0 +1,88 @@
+"""Fig. 7: TER vs. channels-per-cluster for each reordering algorithm.
+
+Sweeps the number of output channels that share one input-channel order
+(4, 8, 16, 32) and compares: the un-reordered baseline, ``sign_first``
+reordering, ``mag_first`` reordering, and cluster-then-reorder.  Paper
+findings reproduced here: all reorderings beat the baseline; reordering
+gets less effective as the group widens; ``sign_first`` beats
+``mag_first``; clustering helps most at large group sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..arch import AcceleratorConfig, SystolicArraySimulator, sample_pixel_rows
+from ..core import MappingStrategy, plan_layer
+from ..hw.variations import TER_EVAL_CORNER, PvtaCondition
+from .common import ExperimentScale, get_bundle, get_scale, record_operand_streams, render_table
+
+#: The four algorithm variants plotted in Fig. 7.
+VARIANTS = (
+    ("baseline", MappingStrategy.BASELINE, "sign_first"),
+    ("reorder_sign_first", MappingStrategy.REORDER, "sign_first"),
+    ("reorder_mag_first", MappingStrategy.REORDER, "mag_first"),
+    ("cluster_then_reorder", MappingStrategy.CLUSTER_THEN_REORDER, "sign_first"),
+)
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """TER per (variant, channels-per-cluster) on one layer."""
+
+    layer: str
+    group_sizes: List[int]
+    ter: Dict[str, List[float]]  # variant -> TER per group size
+    corner_name: str
+
+
+def run(
+    scale: Optional[ExperimentScale] = None,
+    recipe: str = "vgg16_cifar10",
+    layer_index: int = 6,
+    group_sizes: Sequence[int] = (4, 8, 16, 32),
+    corner: PvtaCondition = TER_EVAL_CORNER,
+) -> Fig7Result:
+    """Sweep channels-per-cluster on one trained conv layer."""
+    scale = scale or get_scale()
+    bundle = get_bundle(recipe, scale)
+    qconvs = bundle.qnet.qconvs()
+    layer_index = min(layer_index, len(qconvs) - 1)
+    qc = qconvs[layer_index]
+
+    streams = record_operand_streams(bundle.qnet, bundle.x_test[: scale.ter_images])
+    rng = np.random.default_rng(0)
+    cols = streams[qc.name]
+    acts = cols[sample_pixel_rows(cols.shape[0], scale.ter_pixels, rng)]
+    wmat = qc.lowered_weight_matrix()
+
+    sim = SystolicArraySimulator(AcceleratorConfig())
+    usable_sizes = [g for g in group_sizes if g <= wmat.shape[1]]
+    ter: Dict[str, List[float]] = {name: [] for name, _, _ in VARIANTS}
+    for group_size in usable_sizes:
+        for name, strategy, criteria in VARIANTS:
+            plan = plan_layer(wmat, group_size=group_size, strategy=strategy, criteria=criteria)
+            report = sim.run_gemm(acts, wmat, plan, corner)
+            ter[name].append(report.ter)
+    return Fig7Result(
+        layer=qc.name, group_sizes=list(usable_sizes), ter=ter, corner_name=corner.name
+    )
+
+
+def render(result: Fig7Result) -> str:
+    """Render the Fig. 7 series as a table (rows = channels/cluster)."""
+    headers = ["Channels/Cluster"] + [name for name, _, _ in VARIANTS]
+    rows = []
+    for i, g in enumerate(result.group_sizes):
+        rows.append([g] + [result.ter[name][i] for name, _, _ in VARIANTS])
+    return (
+        f"Layer {result.layer} at corner {result.corner_name}:\n"
+        + render_table(headers, rows)
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(render(run()))

@@ -1,0 +1,37 @@
+"""Fault framework: Eq. 1 BER math, bit flips, accuracy eval, baselines."""
+
+from .abft import (
+    AbftReport,
+    check_and_correct,
+    encode_operands,
+    overhead_macs,
+    protected_gemm,
+)
+from .ber import ber_from_ter, ter_from_ber
+from .evaluate import FaultInjectionEvaluator, InjectionOutcome, bers_from_layer_ters
+from .injection import BitFlipInjector, msb_weighted_positions
+from .sensitivity import (
+    LayerSensitivity,
+    SensitivityReport,
+    analyze_sensitivity,
+    selective_hardening,
+)
+
+__all__ = [
+    "AbftReport",
+    "BitFlipInjector",
+    "FaultInjectionEvaluator",
+    "InjectionOutcome",
+    "LayerSensitivity",
+    "SensitivityReport",
+    "analyze_sensitivity",
+    "ber_from_ter",
+    "bers_from_layer_ters",
+    "check_and_correct",
+    "encode_operands",
+    "msb_weighted_positions",
+    "overhead_macs",
+    "protected_gemm",
+    "selective_hardening",
+    "ter_from_ber",
+]

@@ -1,0 +1,147 @@
+"""Algorithm-based fault tolerance (ABFT) baseline — Table I row 3.
+
+The paper compares READ qualitatively against ABFT approaches (FT-CNN
+[11], convolution checksum checkers [12]): they *detect/correct* errors
+after the fact at a medium hardware cost and a throughput penalty,
+whereas READ *prevents* the critical patterns.  To make that comparison
+quantitative, this module implements the classic Huang-Abraham checksum
+scheme on the lowered GEMM:
+
+* the weight matrix is extended with a column checksum (sum over K),
+  the activation matrix with a row checksum (sum over pixels);
+* after the (possibly faulty) multiplication, row/column sums are
+  re-derived and compared; a single corrupted output is located at the
+  intersection of the failing row and column checks and corrected by
+  substitution.
+
+The overhead model counts the extra MACs the checksums cost, which is the
+"medium hardware overhead / throughput drop" of Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+@dataclass(frozen=True)
+class AbftReport:
+    """Outcome of one checksum check/correct pass."""
+
+    detected: bool
+    corrected: int
+    row_failures: np.ndarray
+    col_failures: np.ndarray
+    residual_error: bool
+
+    @property
+    def clean(self) -> bool:
+        return not self.detected
+
+
+def encode_operands(
+    act_matrix: np.ndarray, weight_matrix: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Append the Huang-Abraham checksum row/column to the operands.
+
+    The encoded product ``(M+1) x (K+1)`` then carries its own
+    consistency proof: the last row/column must equal the sums of the
+    others.
+    """
+    act_matrix = np.asarray(act_matrix, dtype=np.int64)
+    weight_matrix = np.asarray(weight_matrix, dtype=np.int64)
+    if act_matrix.ndim != 2 or weight_matrix.ndim != 2:
+        raise ShapeError("operands must be 2-D")
+    if act_matrix.shape[1] != weight_matrix.shape[0]:
+        raise ShapeError("reduction dimensions disagree")
+    act_ext = np.vstack([act_matrix, act_matrix.sum(axis=0, keepdims=True)])
+    w_ext = np.hstack([weight_matrix, weight_matrix.sum(axis=1, keepdims=True)])
+    return act_ext, w_ext
+
+
+def check_and_correct(product_ext: np.ndarray) -> Tuple[np.ndarray, AbftReport]:
+    """Verify an encoded product and correct a single corrupted cell.
+
+    Parameters
+    ----------
+    product_ext:
+        The ``(M+1) x (K+1)`` result of multiplying the encoded operands
+        (its last row/column are the checksums).
+
+    Returns
+    -------
+    (corrected_product, report):
+        ``corrected_product`` is the interior ``M x K`` block after
+        correction.  Single-cell errors are corrected exactly; multi-cell
+        errors are detected (``residual_error`` when the pattern is not
+        correctable).
+    """
+    product_ext = np.asarray(product_ext, dtype=np.int64)
+    if product_ext.ndim != 2 or min(product_ext.shape) < 2:
+        raise ShapeError("encoded product must be at least 2x2")
+    interior = product_ext[:-1, :-1].copy()
+    row_sums = interior.sum(axis=1)
+    col_sums = interior.sum(axis=0)
+    row_delta = row_sums - product_ext[:-1, -1]
+    col_delta = col_sums - product_ext[-1, :-1]
+    row_fail = np.flatnonzero(row_delta)
+    col_fail = np.flatnonzero(col_delta)
+
+    corrected = 0
+    residual = False
+    if row_fail.size == 0 and col_fail.size == 0:
+        detected = False
+    else:
+        detected = True
+        if row_fail.size == 1 and col_fail.size == 1 and (
+            row_delta[row_fail[0]] == col_delta[col_fail[0]]
+        ):
+            interior[row_fail[0], col_fail[0]] -= row_delta[row_fail[0]]
+            corrected = 1
+        elif row_fail.size == 0 or col_fail.size == 0:
+            # a corrupted checksum itself: interior is intact
+            corrected = 0
+        else:
+            residual = True
+
+    return interior, AbftReport(
+        detected=detected,
+        corrected=corrected,
+        row_failures=row_fail,
+        col_failures=col_fail,
+        residual_error=residual,
+    )
+
+
+def protected_gemm(
+    act_matrix: np.ndarray,
+    weight_matrix: np.ndarray,
+    fault=None,
+) -> Tuple[np.ndarray, AbftReport]:
+    """Execute a GEMM under ABFT protection, optionally injecting faults.
+
+    ``fault`` is an optional callable applied to the *encoded* product
+    (e.g. a bit-flip injector), mimicking datapath errors.
+    """
+    act_ext, w_ext = encode_operands(act_matrix, weight_matrix)
+    product = act_ext @ w_ext
+    if fault is not None:
+        product = fault(product)
+    return check_and_correct(product)
+
+
+def overhead_macs(n_pixels: int, reduction: int, n_outputs: int) -> Tuple[int, float]:
+    """Extra MACs the checksums cost, absolute and relative.
+
+    One extra activation row and one extra weight column:
+    ``(M+1)(K+1)C - MKC`` additional multiply-accumulates — Table I's
+    "medium overhead / throughput drop" made concrete.
+    """
+    base = n_pixels * n_outputs * reduction
+    encoded = (n_pixels + 1) * (n_outputs + 1) * reduction
+    extra = encoded - base
+    return extra, extra / base

@@ -1,0 +1,43 @@
+"""Eq. 1 of the paper: output-activation BER from per-MAC TER.
+
+An output activation is the result of ``N`` chained MAC operations; a
+timing error in *any* of them corrupts the output, so
+
+    BER = 1 - (1 - TER)^N            (Eq. 1)
+
+Even tiny per-cycle TERs produce large output BERs when N is in the
+thousands — the paper's core motivation for attacking TER directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def ber_from_ter(ter, n_macs: int) -> np.ndarray:
+    """Output-activation bit error rate from the per-MAC timing error rate.
+
+    Vectorized over ``ter``.  Uses ``expm1/log1p`` so tiny TERs do not
+    lose precision to cancellation.
+
+    >>> float(ber_from_ter(1e-6, 1)) == 1e-6
+    True
+    """
+    ter = np.asarray(ter, dtype=np.float64)
+    if np.any((ter < 0) | (ter > 1)):
+        raise ConfigurationError("TER must lie in [0, 1]")
+    if n_macs < 1:
+        raise ConfigurationError("n_macs must be >= 1")
+    return -np.expm1(n_macs * np.log1p(-ter))
+
+
+def ter_from_ber(ber, n_macs: int) -> np.ndarray:
+    """Inverse of Eq. 1: the per-MAC TER implied by an output BER."""
+    ber = np.asarray(ber, dtype=np.float64)
+    if np.any((ber < 0) | (ber >= 1)):
+        raise ConfigurationError("BER must lie in [0, 1)")
+    if n_macs < 1:
+        raise ConfigurationError("n_macs must be >= 1")
+    return -np.expm1(np.log1p(-ber) / n_macs)

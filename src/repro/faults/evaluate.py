@@ -1,0 +1,129 @@
+"""End-to-end accuracy evaluation under timing-error injection.
+
+Implements the paper's protocol (Section V-C): per-layer TERs (from the
+systolic-array DTA) -> Eq. 1 BERs -> repeated seeded bit-flip inference
+runs -> mean/std accuracy.  The paper uses batch 128 and five repetitions
+per corner; those are the defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..nn.quantize import QuantizedNetwork
+from .ber import ber_from_ter
+from .injection import BitFlipInjector
+
+
+@dataclass(frozen=True)
+class InjectionOutcome:
+    """Accuracy statistics of one (strategy, corner) evaluation."""
+
+    mean_accuracy: float
+    std_accuracy: float
+    trial_accuracies: List[float]
+    ber_per_layer: Dict[str, float]
+    topk: int
+
+    @property
+    def mean_ber(self) -> float:
+        """Average output BER across the injected layers."""
+        if not self.ber_per_layer:
+            return 0.0
+        return float(np.mean(list(self.ber_per_layer.values())))
+
+
+def bers_from_layer_ters(
+    ters: Dict[str, float], n_macs: Dict[str, int], only_layers: Optional[Sequence[str]] = None
+) -> Dict[str, float]:
+    """Convert per-layer TERs into the injector's BER table via Eq. 1.
+
+    ``only_layers`` restricts injection to a subset (the paper injects
+    only the vulnerable early layers for Fig. 11 to bound simulation
+    cost).
+    """
+    bers = {}
+    for name, ter in ters.items():
+        if only_layers is not None and name not in only_layers:
+            continue
+        if name not in n_macs:
+            raise ConfigurationError(f"missing MAC count for layer {name}")
+        bers[name] = float(ber_from_ter(ter, n_macs[name]))
+    return bers
+
+
+class FaultInjectionEvaluator:
+    """Repeated-trial accuracy measurement under per-layer BERs.
+
+    Parameters
+    ----------
+    network:
+        Calibrated quantized network.
+    batch_size:
+        Inference batch size (paper: 128).
+    n_trials:
+        Independent injection repetitions, each with a distinct seed
+        (paper: 5).
+    """
+
+    def __init__(
+        self,
+        network: QuantizedNetwork,
+        batch_size: int = 128,
+        n_trials: int = 5,
+        bit_low: int = 20,
+        bit_high: int = 23,
+    ) -> None:
+        if n_trials < 1:
+            raise ConfigurationError("n_trials must be >= 1")
+        self.network = network
+        self.batch_size = batch_size
+        self.n_trials = n_trials
+        self.bit_low = bit_low
+        self.bit_high = bit_high
+
+    def run(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        ber_per_layer: Dict[str, float],
+        topk: int = 1,
+        base_seed: int = 0,
+    ) -> InjectionOutcome:
+        """Evaluate accuracy under the given BER table.
+
+        A BER table that is empty or all-zero short-circuits to a single
+        fault-free run (the *Ideal* corner).
+        """
+        if not ber_per_layer or all(b == 0.0 for b in ber_per_layer.values()):
+            acc = self.network.evaluate(x, y, topk=topk, batch_size=self.batch_size)
+            return InjectionOutcome(
+                mean_accuracy=acc,
+                std_accuracy=0.0,
+                trial_accuracies=[acc],
+                ber_per_layer=dict(ber_per_layer),
+                topk=topk,
+            )
+
+        injector = BitFlipInjector(
+            ber_per_layer=ber_per_layer, bit_low=self.bit_low, bit_high=self.bit_high
+        )
+        accuracies = []
+        for trial in range(self.n_trials):
+            injector.reseed(base_seed + 1000 * trial + 17)
+            accuracies.append(
+                self.network.evaluate(
+                    x, y, topk=topk, batch_size=self.batch_size, injector=injector
+                )
+            )
+        return InjectionOutcome(
+            mean_accuracy=float(np.mean(accuracies)),
+            std_accuracy=float(np.std(accuracies)),
+            trial_accuracies=accuracies,
+            ber_per_layer=dict(ber_per_layer),
+            topk=topk,
+        )

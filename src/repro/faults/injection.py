@@ -1,0 +1,137 @@
+"""Bit-flip fault injection into MAC accumulators.
+
+Reproduces the paper's error-injection protocol (Section V-C): after the
+layer-wise TERs are measured, Eq. 1 converts them into per-layer output
+BERs, and "the corresponding bits of the output activations (before the
+activation function)" are randomly flipped with those probabilities.
+
+The injector operates on the raw integer accumulators exposed by
+:class:`repro.nn.quantize.QuantizedConv`.  Timing errors concentrate in
+the most significant bits (Section II-B: the failing paths are the
+sign-region settle paths).  "Most significant" means the top of the
+*active* region of the partial sum: a failed settle leaves bits stale in
+the range that was toggling, so the injected error magnitude is
+comparable to the accumulator values themselves, not to the full 2^23
+range of the register (whose top bits never toggle for layers that use
+only part of the dynamic range).  Positions are therefore drawn from a
+window just below each layer's active MSB — measured from the batch being
+injected — with an absolute-window mode retained for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..hw import fixedpoint as fp
+
+
+@dataclass
+class BitFlipInjector:
+    """Per-layer Bernoulli bit-flip injector (the paper's protocol).
+
+    Parameters
+    ----------
+    ber_per_layer:
+        Mapping conv-layer name -> output-activation BER (from Eq. 1).
+        Layers absent from the mapping are left untouched — Fig. 11
+        injects only the vulnerable early layers this way.
+    relative_window:
+        In the default *relative* mode, flip positions are drawn uniformly
+        from ``[active_msb - relative_window + 1, active_msb]`` where
+        ``active_msb`` is the highest magnitude bit used by the layer's
+        accumulators in the injected batch — the MSB region that actually
+        toggles.
+    bit_low / bit_high:
+        Absolute-mode window within the PSUM register (used when
+        ``mode == "absolute"``).
+    psum_width:
+        Register width the flip is applied in (values wrap into it first,
+        which is what the physical register holds).
+    seed:
+        Seed of the injector's private RNG; re-seed per trial to get the
+        paper's five repeated simulations.
+    """
+
+    ber_per_layer: Dict[str, float]
+    mode: str = "relative"
+    relative_window: int = 3
+    bit_low: int = 20
+    bit_high: int = 23
+    psum_width: int = fp.PSUM_WIDTH
+    seed: int = 0
+    flips_injected: int = field(default=0, init=False)
+    elements_seen: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("relative", "absolute"):
+            raise ConfigurationError("mode must be 'relative' or 'absolute'")
+        if self.relative_window < 1:
+            raise ConfigurationError("relative_window must be >= 1")
+        if not (0 <= self.bit_low <= self.bit_high < self.psum_width):
+            raise ConfigurationError(
+                f"flip window [{self.bit_low}, {self.bit_high}] invalid for "
+                f"width {self.psum_width}"
+            )
+        for name, ber in self.ber_per_layer.items():
+            if not 0.0 <= ber <= 1.0:
+                raise ConfigurationError(f"layer {name}: BER {ber} outside [0, 1]")
+        self._rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------------ #
+    def reseed(self, seed: int) -> None:
+        """Restart the random stream (one call per repeated trial)."""
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self.flips_injected = 0
+        self.elements_seen = 0
+
+    def __call__(self, acc: np.ndarray, layer) -> np.ndarray:
+        """Flip bits of the accumulator array for one layer invocation.
+
+        ``layer`` is the :class:`~repro.nn.quantize.QuantizedConv` being
+        executed; its ``name`` selects the BER.
+        """
+        ber = float(self.ber_per_layer.get(layer.name, 0.0))
+        self.elements_seen += acc.size
+        if ber <= 0.0:
+            return acc
+        mask = self._rng.random(acc.shape) < ber
+        n = int(mask.sum())
+        if n == 0:
+            return acc
+        if self.mode == "relative":
+            max_abs = int(np.abs(acc).max())
+            active_msb = max(max_abs.bit_length() - 1, self.relative_window - 1)
+            active_msb = min(active_msb, self.psum_width - 1)
+            low = active_msb - self.relative_window + 1
+            positions = self._rng.integers(low, active_msb + 1, size=n)
+        else:
+            positions = self._rng.integers(self.bit_low, self.bit_high + 1, size=n)
+        out = acc.copy()
+        out[mask] = fp.flip_bits(out[mask], positions, self.psum_width)
+        self.flips_injected += n
+        return out
+
+
+def msb_weighted_positions(
+    n: int,
+    rng: np.random.Generator,
+    psum_width: int = fp.PSUM_WIDTH,
+    decay: float = 0.5,
+) -> np.ndarray:
+    """Alternative flip-position sampler: geometric decay from the MSB.
+
+    Position ``psum_width-1`` (sign bit) is the most likely; each lower
+    bit is ``decay`` times less likely.  Provided for sensitivity studies
+    (the default injector uses a uniform MSB window).
+    """
+    if not 0 < decay <= 1:
+        raise ConfigurationError("decay must be in (0, 1]")
+    weights = decay ** np.arange(psum_width)
+    weights /= weights.sum()
+    offsets = rng.choice(psum_width, size=n, p=weights)
+    return (psum_width - 1) - offsets

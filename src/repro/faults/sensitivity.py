@@ -1,0 +1,111 @@
+"""Layer-wise sensitivity analysis baseline — Table I row 2.
+
+Libano et al. [14] harden only the most vulnerable layers after a
+sensitivity analysis; the paper itself uses the same idea when it injects
+errors "only into several vulnerable layers (those closer to the
+inputs)" for Fig. 11.  This module measures that vulnerability instead of
+assuming it: each conv layer is perturbed *alone* at a probe BER and the
+resulting accuracy drop ranks the layers.
+
+Uses:
+
+* choose the injection set for Fig. 11 empirically;
+* reproduce the "selective hardening" baseline: protect the top-k layers
+  (their BER drops to 0, modelling ECC/duplication on those layers) and
+  report the residual accuracy — at a hardware cost proportional to the
+  protected layers' MACs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..nn.quantize import QuantizedNetwork
+from .evaluate import FaultInjectionEvaluator
+
+
+@dataclass(frozen=True)
+class LayerSensitivity:
+    """Accuracy impact of perturbing one layer in isolation."""
+
+    layer: str
+    accuracy: float
+    drop: float
+    n_macs: int
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    """All layers ranked most-vulnerable first."""
+
+    clean_accuracy: float
+    probe_ber: float
+    layers: List[LayerSensitivity]
+
+    def most_vulnerable(self, k: int) -> List[str]:
+        """Names of the k most accuracy-critical layers."""
+        return [s.layer for s in self.layers[:k]]
+
+    def protection_cost(self, k: int) -> float:
+        """Fraction of the network's MACs the top-k protection covers."""
+        total = sum(s.n_macs for s in self.layers)
+        covered = sum(s.n_macs for s in self.layers[:k])
+        return covered / total if total else 0.0
+
+
+def analyze_sensitivity(
+    qnet: QuantizedNetwork,
+    x: np.ndarray,
+    y: np.ndarray,
+    probe_ber: float = 0.01,
+    n_trials: int = 2,
+    batch_size: int = 64,
+) -> SensitivityReport:
+    """Rank conv layers by single-layer injection impact.
+
+    Runs one fault-injection evaluation per layer with everything else
+    clean; layers whose perturbation hurts accuracy most come first.
+    """
+    if not 0.0 < probe_ber <= 1.0:
+        raise ConfigurationError("probe_ber must lie in (0, 1]")
+    evaluator = FaultInjectionEvaluator(qnet, batch_size=batch_size, n_trials=n_trials)
+    clean = qnet.evaluate(x, y, batch_size=batch_size)
+
+    results = []
+    for qc in qnet.qconvs():
+        outcome = evaluator.run(x, y, {qc.name: probe_ber})
+        results.append(
+            LayerSensitivity(
+                layer=qc.name,
+                accuracy=outcome.mean_accuracy,
+                drop=clean - outcome.mean_accuracy,
+                n_macs=qc.n_macs_per_output,
+            )
+        )
+    results.sort(key=lambda s: s.drop, reverse=True)
+    return SensitivityReport(clean_accuracy=clean, probe_ber=probe_ber, layers=results)
+
+
+def selective_hardening(
+    ber_per_layer: Dict[str, float],
+    report: SensitivityReport,
+    k: int,
+) -> Dict[str, float]:
+    """The Libano-style baseline: zero the BER of the top-k layers.
+
+    Returns a new BER table modelling hardened (fully protected) copies
+    of the k most vulnerable layers; everything else keeps its error
+    rate.  Combine with :meth:`SensitivityReport.protection_cost` for the
+    overhead side of the trade.
+    """
+    if k < 0:
+        raise ConfigurationError("k must be non-negative")
+    protected = set(report.most_vulnerable(k))
+    return {
+        layer: (0.0 if layer in protected else ber)
+        for layer, ber in ber_per_layer.items()
+    }

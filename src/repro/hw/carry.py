@@ -1,0 +1,194 @@
+"""Exact carry-chain analysis of the accumulator adder.
+
+The paper's key physical observation (Section III) is that the *critical
+input patterns* of the MAC unit are those that flip the partial-sum sign
+bit, because a sign flip drives a long carry propagation through the upper
+bits of the 24-bit accumulator — the longest structural paths in the
+datapath.  To reproduce that mechanism (rather than assert it), we compute
+the *actual* carry activity of every addition performed by the MAC:
+
+* ``propagate``  p_i = a_i XOR b_i   (a carry entering bit *i* ripples on)
+* ``generate``   g_i = a_i AND b_i   (bit *i* creates a carry)
+* ``carry``      c_i = carry INTO bit *i*; recovered in closed form from
+  the identity  s = a XOR b XOR c  =>  c = a XOR b XOR s.
+
+Two per-cycle path-length metrics are derived:
+
+* ``chain_length`` — the longest run of consecutive bits through which a
+  carry actually travels (``p & c``), plus one for the generating bit.
+  This is the literal ripple chain; it is long for negative->positive
+  PSUM crossings (the carry climbs through the all-ones upper region).
+* ``toggle_span`` — the highest bit position of the PSUM register that
+  changes between consecutive cycles.  Synthesized accumulators are
+  parallel-prefix adders whose MSB-region logic cone spans *all* lower
+  propagate/generate signals; when the sign region of the output
+  resettles, the longest structural paths are exercised regardless of the
+  crossing direction.  A PSUM sign flip therefore always yields
+  ``toggle_span == width`` — this is the paper's critical input pattern,
+  and it is the metric the delay surrogate uses.
+
+All functions are vectorized over numpy arrays of two's-complement values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from . import fixedpoint as fp
+
+
+@dataclass(frozen=True)
+class AdditionTrace:
+    """Bit-level record of a (vectorized) two's-complement addition.
+
+    Attributes
+    ----------
+    total:
+        Signed sum, wrapped into the register width (what the hardware
+        register holds next cycle).
+    propagate, generate, carry:
+        Raw bit fields (int64) of the respective per-bit signals.
+    chain_length:
+        Longest *live* carry run per element (literal ripple length).
+    toggle_span:
+        Highest toggled output-bit position (1-based); the triggered-path
+        length used by the delay model (see module docstring).
+    sign_flip:
+        Boolean mask: did the addition flip the register's sign bit?
+    """
+
+    total: np.ndarray
+    propagate: np.ndarray
+    generate: np.ndarray
+    carry: np.ndarray
+    chain_length: np.ndarray
+    toggle_span: np.ndarray
+    sign_flip: np.ndarray
+    width: int
+
+
+def longest_one_run(fields: np.ndarray, width: int) -> np.ndarray:
+    """Length of the longest run of consecutive 1-bits in each field.
+
+    Vectorized with a ``width``-iteration scan (cheap: width <= 24 for the
+    paper's accumulator).
+
+    >>> int(longest_one_run(np.array([0b0110111]), 8))
+    3
+    """
+    f = np.asarray(fields, dtype=np.int64)
+    run = np.zeros(f.shape, dtype=np.int64)
+    best = np.zeros(f.shape, dtype=np.int64)
+    for i in range(width):
+        b = (f >> i) & 1
+        run = (run + 1) * b
+        np.maximum(best, run, out=best)
+    return best
+
+
+def highest_set_bit(fields: np.ndarray, width: int) -> np.ndarray:
+    """1-based position of the highest set bit of each field (0 if empty).
+
+    >>> int(highest_set_bit(np.array([0b0010100]), 8))
+    5
+    """
+    f = np.asarray(fields, dtype=np.int64)
+    out = np.zeros(f.shape, dtype=np.int64)
+    for i in range(width):
+        mask = ((f >> i) & 1) == 1
+        out[mask] = i + 1
+    return out
+
+
+def add_trace(a: np.ndarray, b: np.ndarray, width: int = fp.PSUM_WIDTH) -> AdditionTrace:
+    """Perform ``a + b`` in a ``width``-bit register and record carry activity.
+
+    Parameters
+    ----------
+    a, b:
+        Signed addend arrays (broadcastable).  ``a`` is conventionally the
+        current PSUM and ``b`` the incoming product, but addition is
+        symmetric so the trace does not care.
+    width:
+        Register width; defaults to the paper's 24-bit accumulator.
+    """
+    a = fp.wrap(a, width)
+    b = fp.wrap(b, width)
+    fa = fp.to_field(a, width)
+    fb = fp.to_field(b, width)
+    total = fp.wrap(fa + fb, width)
+    ft = fp.to_field(total, width)
+
+    propagate = fa ^ fb
+    generate = fa & fb
+    # s = a ^ b ^ c  =>  c = a ^ b ^ s  (carry INTO each bit; bit 0 carry-in = 0)
+    carry = fa ^ fb ^ ft
+
+    live = propagate & carry
+    chain = longest_one_run(live, width)
+    # A live run of length L means the carry was generated one bit below and
+    # traversed L full-adder stages; count the generating stage too.
+    chain = np.where(chain > 0, chain + 1, 0)
+
+    toggle_span = highest_set_bit(fa ^ ft, width)
+
+    sign_bit = np.int64(1) << (width - 1)
+    sign_flip = ((fa ^ ft) & sign_bit) != 0
+
+    return AdditionTrace(
+        total=total,
+        propagate=propagate,
+        generate=generate,
+        carry=carry,
+        chain_length=chain,
+        toggle_span=toggle_span,
+        sign_flip=sign_flip,
+        width=width,
+    )
+
+
+def accumulation_chain_lengths(
+    products: np.ndarray, width: int = fp.PSUM_WIDTH, initial: int = 0
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Run a full accumulation and return per-cycle carry/sign statistics.
+
+    Parameters
+    ----------
+    products:
+        Array of shape ``(..., n_cycles)``: the signed products fed to the
+        accumulator in order along the last axis.
+    width:
+        Accumulator register width.
+    initial:
+        Initial PSUM value (0 in the paper's output-stationary dataflow).
+
+    Returns
+    -------
+    (psums, chain_lengths, toggle_spans, sign_flips):
+        ``psums[..., j]`` is the PSUM *after* cycle ``j`` (wrapped);
+        ``chain_lengths[..., j]`` the ripple carry-chain length of cycle
+        ``j``; ``toggle_spans[..., j]`` its highest toggled register bit;
+        ``sign_flips[..., j]`` whether cycle ``j`` flipped the PSUM sign
+        bit.
+
+    Notes
+    -----
+    The whole prefix-sum is computed with ``numpy.cumsum`` and the carry
+    signals recovered in closed form per cycle, so the cost is a handful of
+    vectorized passes rather than a Python loop over cycles.
+    """
+    products = np.asarray(products, dtype=np.int64)
+    prefix = np.cumsum(products, axis=-1, dtype=np.int64) + np.int64(initial)
+    psums = fp.wrap(prefix, width)
+
+    prev = np.concatenate(
+        [
+            np.full(products.shape[:-1] + (1,), fp.wrap(initial, width), dtype=np.int64),
+            psums[..., :-1],
+        ],
+        axis=-1,
+    )
+    trace = add_trace(prev, fp.wrap(products, width), width)
+    return psums, trace.chain_length, trace.toggle_span, trace.sign_flip

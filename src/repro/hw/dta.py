@@ -1,0 +1,170 @@
+"""Dynamic timing analysis (DTA) of MAC operand streams.
+
+This is the reproduction's stand-in for AVATAR [Zhang et al., DAC'22], the
+aging- and variation-aware dynamic timing analyzer the paper uses to
+evaluate TER (Section V-A).  Given the *actual* operand stream a MAC unit
+executes, the DTA:
+
+1. computes every cycle's triggered-path delay with the structural
+   surrogate (:mod:`repro.hw.timing`) from the measured carry activity;
+2. applies a PVTA corner's per-cycle Gaussian delay derate
+   (:mod:`repro.hw.variations`);
+3. reports the probability that each cycle misses the clock, and the
+   aggregate **timing error rate** ``TER = E[errors] / cycles``.
+
+Two evaluation modes are provided:
+
+* **analytic** (default) — the per-cycle error probability is computed in
+  closed form, ``p = P(derate > clock / delay)``; the TER is then exact
+  with respect to the derate model and free of sampling noise.  This is
+  what the figures use.
+* **sampling** — derates are drawn per cycle and errors materialize as
+  booleans; used by tests and by fault-injection cross-checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.special import erfc
+
+from ..errors import ConfigurationError
+from .mac import MacConfig, MacTrace, MacUnit
+from .timing import DelayModel, StaticTimingAnalyzer
+from .variations import IDEAL, PvtaCondition
+
+
+def _gaussian_sf(z: np.ndarray) -> np.ndarray:
+    """Standard normal survival function, vectorized and overflow-safe."""
+    return 0.5 * erfc(z / np.sqrt(2.0))
+
+
+@dataclass(frozen=True)
+class TimingAnalysisResult:
+    """Aggregate outcome of a DTA run over one operand stream.
+
+    Attributes
+    ----------
+    ter:
+        Timing error rate — expected fraction of cycles that violate
+        timing at the analyzed corner.
+    sign_flip_rate:
+        Fraction of cycles that flipped the PSUM sign bit (the paper's
+        critical-pattern proxy; Fig. 2 plots this against TER).
+    n_cycles:
+        Number of MAC cycles analyzed.
+    error_prob:
+        Per-cycle error probabilities, same shape as the trace cycles.
+    mean_chain_length:
+        Average triggered carry-chain length (diagnostic).
+    clock_ps:
+        Clock period the delays were compared against.
+    corner:
+        The PVTA condition analyzed.
+    """
+
+    ter: float
+    sign_flip_rate: float
+    n_cycles: int
+    error_prob: np.ndarray = field(repr=False)
+    mean_chain_length: float = 0.0
+    clock_ps: float = 0.0
+    corner: PvtaCondition = IDEAL
+
+    @property
+    def expected_errors(self) -> float:
+        """Expected number of timing-violating cycles in the stream."""
+        return self.ter * self.n_cycles
+
+
+class DynamicTimingAnalyzer:
+    """Evaluate TER of MAC operand streams under a PVTA corner.
+
+    Parameters
+    ----------
+    mac_config:
+        Datapath bit widths; the clock period is derived from these via STA.
+    delay_model / sta:
+        Override the delay surrogate or the STA margin.  By default a
+        single STA run at construction fixes ``clock_ps`` for the lifetime
+        of the analyzer, mirroring a taped-out design.
+    """
+
+    def __init__(
+        self,
+        mac_config: MacConfig | None = None,
+        delay_model: DelayModel | None = None,
+        sta: StaticTimingAnalyzer | None = None,
+    ) -> None:
+        self.mac_config = mac_config or MacConfig()
+        self.delay_model = delay_model or DelayModel()
+        self.sta = sta or StaticTimingAnalyzer(delay_model=self.delay_model)
+        if sta is not None and delay_model is not None and sta.delay_model is not delay_model:
+            raise ConfigurationError("sta and delay_model disagree; pass one or the other")
+        self.clock_ps = self.sta.nominal_clock_ps(self.mac_config)
+        self._mac = MacUnit(self.mac_config)
+
+    # ------------------------------------------------------------------ #
+    # Core analysis
+    # ------------------------------------------------------------------ #
+    def error_probabilities(
+        self, trace: MacTrace, corner: PvtaCondition
+    ) -> np.ndarray:
+        """Closed-form per-cycle timing-error probability at ``corner``.
+
+        A cycle with triggered delay ``d`` fails iff its sampled derate
+        exceeds ``clock / d``; with ``derate ~ N(mu, sigma)`` this is the
+        Gaussian survival function evaluated at ``(clock/d - mu) / sigma``.
+        """
+        delays = self.delay_model.cycle_delays(trace)
+        sigma = corner.sigma_derate
+        if sigma <= 0:
+            return (delays * corner.mean_derate > self.clock_ps).astype(np.float64)
+        z = (self.clock_ps / delays - corner.mean_derate) / sigma
+        return _gaussian_sf(z)
+
+    def analyze_trace(
+        self, trace: MacTrace, corner: PvtaCondition
+    ) -> TimingAnalysisResult:
+        """Analytic TER of an already-executed :class:`MacTrace`."""
+        probs = self.error_probabilities(trace, corner)
+        return TimingAnalysisResult(
+            ter=float(probs.mean()),
+            sign_flip_rate=trace.sign_flip_rate(),
+            n_cycles=int(np.prod(trace.sign_flips.shape)),
+            error_prob=probs,
+            mean_chain_length=float(trace.chain_lengths.mean()),
+            clock_ps=self.clock_ps,
+            corner=corner,
+        )
+
+    def analyze(
+        self, acts: np.ndarray, weights: np.ndarray, corner: PvtaCondition
+    ) -> TimingAnalysisResult:
+        """Run the MAC on operand streams and analyze the resulting trace.
+
+        ``acts`` and ``weights`` have shape ``(..., n_cycles)``; leading
+        axes are independent accumulations (PEs).
+        """
+        trace = self._mac.run(acts, weights, validate=False)
+        return self.analyze_trace(trace, corner)
+
+    # ------------------------------------------------------------------ #
+    # Sampling mode
+    # ------------------------------------------------------------------ #
+    def sample_errors(
+        self,
+        trace: MacTrace,
+        corner: PvtaCondition,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Materialize timing errors by sampling per-cycle derates.
+
+        Returns a boolean array with the trace's cycle shape.  The mean of
+        many samples converges to :meth:`error_probabilities` — checked by
+        the test suite.
+        """
+        delays = self.delay_model.cycle_delays(trace)
+        derates = corner.sample_derates(delays.shape, rng)
+        return delays * derates > self.clock_ps

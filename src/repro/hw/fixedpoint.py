@@ -1,0 +1,170 @@
+"""Two's-complement fixed-point helpers.
+
+The READ paper studies a TPU-style MAC unit: an 8-bit (signed) multiplier
+feeding a 24-bit (signed) accumulator.  Everything reliability-related in
+the paper happens at the *bit* level — the critical input patterns are the
+ones that flip the partial-sum sign bit and exercise the accumulator carry
+chain — so the rest of the library needs exact, vectorized two's-complement
+arithmetic.  This module provides it on top of plain ``numpy`` integer
+arrays.
+
+Conventions
+-----------
+* Signed values are carried around as ``numpy`` ``int64`` arrays holding
+  the mathematical value (e.g. ``-4``).
+* "Fields" are the raw two's-complement bit patterns of a value inside a
+  ``width``-bit register, stored as non-negative ``int64``
+  (e.g. ``-4`` in a 24-bit register is ``0xFFFFFC``).
+* All functions are vectorized: scalars, lists and arrays all work and the
+  result follows numpy broadcasting.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..errors import QuantizationError
+
+ArrayLike = Union[int, float, list, tuple, np.ndarray]
+
+#: Bit widths of the paper's TPU-style MAC unit (Section III / Fig. 4).
+ACT_WIDTH = 8
+WEIGHT_WIDTH = 8
+PRODUCT_WIDTH = 16
+PSUM_WIDTH = 24
+
+
+def signed_min(width: int) -> int:
+    """Smallest representable value of a signed ``width``-bit register."""
+    _check_width(width)
+    return -(1 << (width - 1))
+
+
+def signed_max(width: int) -> int:
+    """Largest representable value of a signed ``width``-bit register."""
+    _check_width(width)
+    return (1 << (width - 1)) - 1
+
+
+def _check_width(width: int) -> None:
+    if not isinstance(width, (int, np.integer)) or width < 2 or width > 63:
+        raise QuantizationError(f"width must be an int in [2, 63], got {width!r}")
+
+
+def fits(values: ArrayLike, width: int) -> np.ndarray:
+    """Return a boolean mask of which values fit in a signed ``width``-bit register."""
+    v = np.asarray(values, dtype=np.int64)
+    return (v >= signed_min(width)) & (v <= signed_max(width))
+
+
+def wrap(values: ArrayLike, width: int) -> np.ndarray:
+    """Wrap values into a signed ``width``-bit register (modular arithmetic).
+
+    This models what a hardware register actually does on overflow: the
+    value is reduced modulo ``2**width`` and re-interpreted as signed.
+
+    >>> int(wrap(2**23, 24))
+    -8388608
+    """
+    _check_width(width)
+    v = np.asarray(values, dtype=np.int64)
+    mod = np.int64(1) << width
+    field = v & (mod - 1)
+    sign_bit = np.int64(1) << (width - 1)
+    return np.where(field >= sign_bit, field - mod, field).astype(np.int64)
+
+
+def saturate(values: ArrayLike, width: int) -> np.ndarray:
+    """Clamp values into the signed ``width``-bit range (saturating arithmetic)."""
+    v = np.asarray(values, dtype=np.int64)
+    return np.clip(v, signed_min(width), signed_max(width)).astype(np.int64)
+
+
+def to_field(values: ArrayLike, width: int) -> np.ndarray:
+    """Encode signed values as raw two's-complement bit fields.
+
+    Raises :class:`QuantizationError` if any value does not fit.
+
+    >>> hex(int(to_field(-4, 24)))
+    '0xfffffc'
+    """
+    _check_width(width)
+    v = np.asarray(values, dtype=np.int64)
+    if not np.all(fits(v, width)):
+        bad = v[~fits(v, width)]
+        raise QuantizationError(
+            f"value(s) {bad[:4].tolist()} do not fit in a signed {width}-bit register"
+        )
+    mod = np.int64(1) << width
+    return np.where(v < 0, v + mod, v).astype(np.int64)
+
+
+def from_field(fields: ArrayLike, width: int) -> np.ndarray:
+    """Decode raw two's-complement bit fields back into signed values."""
+    _check_width(width)
+    f = np.asarray(fields, dtype=np.int64)
+    if np.any((f < 0) | (f >= (np.int64(1) << width))):
+        raise QuantizationError(f"field out of range for width={width}")
+    sign_bit = np.int64(1) << (width - 1)
+    mod = np.int64(1) << width
+    return np.where(f >= sign_bit, f - mod, f).astype(np.int64)
+
+
+def bit(values: ArrayLike, position: int, width: int) -> np.ndarray:
+    """Extract bit ``position`` (LSB = 0) of the two's-complement encoding."""
+    if position < 0 or position >= width:
+        raise QuantizationError(f"bit position {position} outside width {width}")
+    f = to_field(wrap(values, width), width)
+    return ((f >> position) & 1).astype(np.int64)
+
+
+def sign_bit(values: ArrayLike, width: int = PSUM_WIDTH) -> np.ndarray:
+    """Extract the sign bit of values held in a ``width``-bit register.
+
+    Note the paper's ``sign(.)`` convention (Section IV-A) is the inverse:
+    it returns 1 for *non-negative* inputs.  Use
+    :func:`repro.core.signflip.paper_sign` for that convention; this
+    function returns the literal hardware sign bit (1 = negative).
+    """
+    return bit(values, width - 1, width)
+
+
+def flip_bits(values: ArrayLike, positions: ArrayLike, width: int) -> np.ndarray:
+    """Flip the given bit of each value (used by the fault injector).
+
+    ``positions`` broadcasts against ``values``; each entry must lie in
+    ``[0, width)``.  Values are wrapped into the register first, matching
+    a bit-flip on the physical register.
+    """
+    _check_width(width)
+    pos = np.asarray(positions, dtype=np.int64)
+    if np.any((pos < 0) | (pos >= width)):
+        raise QuantizationError(f"bit position(s) outside [0, {width})")
+    f = to_field(wrap(values, width), width)
+    return from_field(f ^ (np.int64(1) << pos), width)
+
+
+def significant_bits(values: ArrayLike) -> np.ndarray:
+    """Number of significant magnitude bits of each value.
+
+    Used by the multiplier-delay surrogate: an array multiplier's active
+    partial-product depth grows with the operand magnitudes.  Defined as
+    ``bit_length(|v|)`` with ``significant_bits(0) == 0``.
+    """
+    v = np.abs(np.asarray(values, dtype=np.int64))
+    out = np.zeros_like(v)
+    nonzero = v > 0
+    # int64 magnitudes: log2 is exact enough for < 2**52, which covers all
+    # MAC operands; use frexp-free formulation via bit tricks instead to be
+    # safe for any int64.
+    if np.any(nonzero):
+        vv = v[nonzero]
+        bits = np.zeros_like(vv)
+        cur = vv.copy()
+        while np.any(cur > 0):
+            bits += (cur > 0).astype(np.int64)
+            cur >>= 1
+        out[nonzero] = bits
+    return out

@@ -1,0 +1,165 @@
+"""Bit-accurate model of the TPU-style MAC unit.
+
+The paper's processing element (Fig. 4) multiplies an 8-bit activation by
+an 8-bit weight and accumulates into a 24-bit partial sum.  This module
+provides that unit as a vectorized, cycle-faithful object: the functional
+result (what value the PSUM register holds each cycle) and the structural
+activity (carry chains, sign flips, operand significances) that the timing
+model consumes.
+
+The unit is deliberately *functional-first*: timing errors are evaluated
+by :mod:`repro.hw.dta` as an overlay, so the same MAC model serves both
+the golden (error-free) reference and the reliability analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError, QuantizationError
+from . import fixedpoint as fp
+from .carry import accumulation_chain_lengths
+
+
+@dataclass(frozen=True)
+class MacConfig:
+    """Bit widths of the MAC datapath.
+
+    Defaults follow the paper: 8-bit activations, 8-bit weights, 24-bit
+    partial sums.  ``act_signed`` is False by default because activations
+    following a ReLU are non-negative and quantized to uint8 — the
+    property the READ heuristic relies on (Section IV-A, observation 1).
+    """
+
+    act_width: int = fp.ACT_WIDTH
+    weight_width: int = fp.WEIGHT_WIDTH
+    psum_width: int = fp.PSUM_WIDTH
+    act_signed: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("act_width", "weight_width", "psum_width"):
+            w = getattr(self, name)
+            if not isinstance(w, int) or not (2 <= w <= 32):
+                raise ConfigurationError(f"{name} must be an int in [2, 32], got {w!r}")
+        if self.psum_width < self.act_width + self.weight_width:
+            raise ConfigurationError(
+                "psum_width must be at least act_width + weight_width to hold one product"
+            )
+
+    @property
+    def act_range(self) -> tuple[int, int]:
+        """Inclusive (min, max) representable activation values."""
+        if self.act_signed:
+            return fp.signed_min(self.act_width), fp.signed_max(self.act_width)
+        return 0, (1 << self.act_width) - 1
+
+    @property
+    def weight_range(self) -> tuple[int, int]:
+        """Inclusive (min, max) representable weight values."""
+        return fp.signed_min(self.weight_width), fp.signed_max(self.weight_width)
+
+
+@dataclass(frozen=True)
+class MacTrace:
+    """Cycle-by-cycle record of one (or many parallel) MAC accumulations.
+
+    All arrays share the shape ``(..., n_cycles)`` where leading axes index
+    independent PEs / output activations.
+    """
+
+    products: np.ndarray
+    psums: np.ndarray
+    chain_lengths: np.ndarray
+    toggle_spans: np.ndarray
+    sign_flips: np.ndarray
+    act_bits: np.ndarray
+    weight_bits: np.ndarray
+    config: MacConfig = field(repr=False)
+
+    @property
+    def n_cycles(self) -> int:
+        return self.products.shape[-1]
+
+    @property
+    def final(self) -> np.ndarray:
+        """Final accumulated value per PE (the output activation pre-ReLU)."""
+        return self.psums[..., -1]
+
+    def sign_flip_count(self) -> np.ndarray:
+        """Total PSUM sign-bit flips per accumulation (paper's SF metric)."""
+        return self.sign_flips.sum(axis=-1)
+
+    def sign_flip_rate(self) -> float:
+        """Fraction of cycles that flipped the PSUM sign bit (Fig. 2 x-axis)."""
+        return float(self.sign_flips.mean())
+
+
+class MacUnit:
+    """Vectorized TPU-style multiply-accumulate unit.
+
+    Examples
+    --------
+    >>> mac = MacUnit(MacConfig(act_signed=True))
+    >>> trace = mac.run(acts=[3, 2], weights=[-2, 1])   # 3*(-2) + 2*1
+    >>> int(trace.final)
+    -4
+    >>> int(trace.sign_flip_count())   # 0 -> -6 flips once, -6 -> -4 stays
+    1
+    """
+
+    def __init__(self, config: MacConfig | None = None) -> None:
+        self.config = config or MacConfig()
+
+    def _validate(self, acts: np.ndarray, weights: np.ndarray) -> None:
+        lo, hi = self.config.act_range
+        if np.any((acts < lo) | (acts > hi)):
+            raise QuantizationError(
+                f"activation out of range [{lo}, {hi}] for {self.config!r}"
+            )
+        lo, hi = self.config.weight_range
+        if np.any((weights < lo) | (weights > hi)):
+            raise QuantizationError(f"weight out of range [{lo}, {hi}]")
+
+    def multiply(self, acts, weights) -> np.ndarray:
+        """Exact signed products (they always fit in the product register)."""
+        acts = np.asarray(acts, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.int64)
+        self._validate(acts, weights)
+        return acts * weights
+
+    def run(self, acts, weights, initial: int = 0, validate: bool = True) -> MacTrace:
+        """Accumulate element-wise products along the last axis.
+
+        Parameters
+        ----------
+        acts, weights:
+            Arrays of shape ``(..., n_cycles)`` (broadcastable against each
+            other).  Cycle ``j`` computes ``psum += acts[..., j] *
+            weights[..., j]``.
+        initial:
+            Initial PSUM value (0 for output-stationary dataflow).
+        validate:
+            Skip range checks when the caller guarantees quantized inputs
+            (hot path of the systolic simulator).
+        """
+        acts = np.asarray(acts, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.int64)
+        if validate:
+            self._validate(acts, weights)
+        acts, weights = np.broadcast_arrays(acts, weights)
+        products = acts * weights
+        psums, chains, spans, flips = accumulation_chain_lengths(
+            products, width=self.config.psum_width, initial=initial
+        )
+        return MacTrace(
+            products=products,
+            psums=psums,
+            chain_lengths=chains,
+            toggle_spans=spans,
+            sign_flips=flips,
+            act_bits=fp.significant_bits(acts),
+            weight_bits=fp.significant_bits(weights),
+            config=self.config,
+        )

@@ -1,0 +1,153 @@
+"""Razor-style timing-speculation overlay (paper Section V-C outlook).
+
+Timing-speculation accelerators (ThunderVolt [7], DNN-Engine [6], EFFORT
+[9,15]) replace the guardband with error *detection and replay*: Razor
+flip-flops flag late transitions and the pipeline re-executes the failed
+cycle.  Correctness is preserved, but every detected error costs recovery
+cycles and energy — which is why the paper positions READ as a
+multiplier for these designs: fewer critical patterns means fewer Razor
+events, hence more aggressive voltage scaling at the same recovery
+budget.
+
+This module models that mechanism on top of the DTA:
+
+* :class:`RazorConfig` — detection window and replay penalty;
+* :class:`SpeculationOutcome` — expected error/replay counts, effective
+  throughput, and the energy overhead split;
+* :class:`TimingSpeculationModel` — evaluates a
+  :class:`~repro.hw.mac.MacTrace` (or a measured TER) under a corner.
+
+The model is expectation-based (it consumes the DTA's per-cycle error
+probabilities), matching the analytic TER mode used by the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .dta import DynamicTimingAnalyzer
+from .mac import MacTrace
+from .variations import PvtaCondition
+
+
+@dataclass(frozen=True)
+class RazorConfig:
+    """Timing-speculation parameters.
+
+    Attributes
+    ----------
+    replay_cycles:
+        Recovery cycles charged per detected error (ThunderVolt steals
+        one cycle from the downstream MAC; conservative designs flush
+        more).
+    detection_coverage:
+        Fraction of late transitions the shadow latch actually catches
+        (< 1 leaves silent data corruption, reported separately).
+    throughput_budget:
+        Largest tolerable relative slowdown from replays; used by
+        :meth:`TimingSpeculationModel.max_derate_within_budget`.
+    """
+
+    replay_cycles: int = 1
+    detection_coverage: float = 1.0
+    throughput_budget: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.replay_cycles < 0:
+            raise ConfigurationError("replay_cycles must be non-negative")
+        if not 0.0 <= self.detection_coverage <= 1.0:
+            raise ConfigurationError("detection_coverage must lie in [0, 1]")
+        if self.throughput_budget <= 0:
+            raise ConfigurationError("throughput_budget must be positive")
+
+
+@dataclass(frozen=True)
+class SpeculationOutcome:
+    """Expected behaviour of a speculative execution."""
+
+    n_cycles: int
+    expected_errors: float
+    expected_replays: float
+    silent_errors: float
+    slowdown: float           # extra cycles / nominal cycles
+    detect_energy_pj: float
+    replay_energy_pj: float
+
+    @property
+    def meets_budget(self) -> bool:  # pragma: no cover - convenience
+        return self.slowdown <= 0.01
+
+
+class TimingSpeculationModel:
+    """Evaluate Razor-style speculation on DTA-analyzed workloads."""
+
+    def __init__(
+        self,
+        razor: RazorConfig | None = None,
+        dta: DynamicTimingAnalyzer | None = None,
+        detect_pj_per_cycle: float = 0.03,
+        replay_pj_per_cycle: float = 0.30,
+    ) -> None:
+        self.razor = razor or RazorConfig()
+        self.dta = dta or DynamicTimingAnalyzer()
+        self.detect_pj_per_cycle = detect_pj_per_cycle
+        self.replay_pj_per_cycle = replay_pj_per_cycle
+
+    # ------------------------------------------------------------------ #
+    def evaluate_trace(
+        self, trace: MacTrace, corner: PvtaCondition
+    ) -> SpeculationOutcome:
+        """Expected replays/energy for one operand stream at a corner."""
+        probs = self.dta.error_probabilities(trace, corner)
+        return self._from_probs(probs.size, float(probs.sum()))
+
+    def evaluate_ter(self, ter: float, n_cycles: int) -> SpeculationOutcome:
+        """Same, from an already-measured TER (layer-level reports)."""
+        if not 0.0 <= ter <= 1.0:
+            raise ConfigurationError("ter must lie in [0, 1]")
+        if n_cycles < 1:
+            raise ConfigurationError("n_cycles must be >= 1")
+        return self._from_probs(n_cycles, ter * n_cycles)
+
+    def _from_probs(self, n_cycles: int, expected_errors: float) -> SpeculationOutcome:
+        detected = expected_errors * self.razor.detection_coverage
+        silent = expected_errors - detected
+        replays = detected * self.razor.replay_cycles
+        return SpeculationOutcome(
+            n_cycles=n_cycles,
+            expected_errors=expected_errors,
+            expected_replays=replays,
+            silent_errors=silent,
+            slowdown=replays / n_cycles,
+            detect_energy_pj=n_cycles * self.detect_pj_per_cycle,
+            replay_energy_pj=replays * self.replay_pj_per_cycle,
+        )
+
+    # ------------------------------------------------------------------ #
+    def max_derate_within_budget(
+        self,
+        trace: MacTrace,
+        corner_at: "callable[[float], PvtaCondition]",
+        derates: np.ndarray,
+    ) -> float:
+        """Largest stress level whose replay slowdown meets the budget.
+
+        ``corner_at(x)`` maps a sweep value (e.g. percent undervolt) to a
+        :class:`PvtaCondition`; the sweep values must be increasing in
+        stress.  Returns the largest value whose expected slowdown stays
+        within ``razor.throughput_budget`` (0.0 if none does).
+
+        This is the quantity READ improves: with fewer critical patterns
+        the same budget is met at a deeper undervolt.
+        """
+        best = 0.0
+        for value in np.asarray(derates, dtype=np.float64):
+            outcome = self.evaluate_trace(trace, corner_at(float(value)))
+            if outcome.slowdown <= self.razor.throughput_budget:
+                best = float(value)
+            else:
+                break
+        return best

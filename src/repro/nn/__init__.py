@@ -1,0 +1,85 @@
+"""Numpy DNN substrate: layers, models, training, quantization, datasets.
+
+Replaces the paper's PyTorch stack (offline environment): float training
+with hand-written backprop, the paper's three evaluation topologies at a
+configurable width, synthetic stand-ins for CIFAR-10/100 and ImageNet,
+and int8 post-training quantization with integer inference exposing the
+MAC accumulators to fault injection.
+"""
+
+from . import functional
+from .datasets import DATASET_SPECS, DatasetSpec, SyntheticImageDataset, load_dataset
+from .layers import (
+    BasicBlock,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+)
+from .models import (
+    RESNET_STAGES,
+    VGG16_LAYOUT,
+    ClassifierNetwork,
+    ConvLayerInfo,
+    build_model,
+    build_resnet,
+    build_vgg16,
+)
+from .regularizers import (
+    CompositeRegularizer,
+    NegativeWeightPenalty,
+    SignCoherencePenalty,
+    WeightRegularizer,
+    read_friendly_regularizer,
+)
+from .quantize import (
+    QuantizedConv,
+    QuantizedNetwork,
+    fold_batchnorm,
+    quantize_weights,
+)
+from .training import SgdMomentum, Trainer, TrainHistory
+
+__all__ = [
+    "BasicBlock",
+    "BatchNorm2d",
+    "ClassifierNetwork",
+    "Conv2d",
+    "ConvLayerInfo",
+    "DATASET_SPECS",
+    "DatasetSpec",
+    "Flatten",
+    "GlobalAvgPool",
+    "Linear",
+    "MaxPool2d",
+    "Module",
+    "NegativeWeightPenalty",
+    "Parameter",
+    "QuantizedConv",
+    "QuantizedNetwork",
+    "CompositeRegularizer",
+    "RESNET_STAGES",
+    "ReLU",
+    "Sequential",
+    "SignCoherencePenalty",
+    "WeightRegularizer",
+    "SgdMomentum",
+    "SyntheticImageDataset",
+    "Trainer",
+    "TrainHistory",
+    "VGG16_LAYOUT",
+    "build_model",
+    "build_resnet",
+    "build_vgg16",
+    "fold_batchnorm",
+    "functional",
+    "load_dataset",
+    "quantize_weights",
+    "read_friendly_regularizer",
+]

@@ -1,0 +1,360 @@
+"""Layer/module system of the numpy DNN framework.
+
+A deliberately small PyTorch-like module system: every :class:`Module`
+implements ``forward`` (caching what backward needs) and ``backward``
+(returning the gradient w.r.t. its input and accumulating parameter
+gradients).  This is all the paper's evaluation networks (VGG-16,
+ResNet-18/34) require, and hand-written backwards are finite-difference
+checked in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, ShapeError, TrainingError
+from . import functional as F
+
+
+class Parameter:
+    """A trainable tensor with its gradient accumulator."""
+
+    def __init__(self, data: np.ndarray, name: str = "") -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Parameter({self.name or 'unnamed'}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class: forward/backward plus parameter traversal."""
+
+    training: bool = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield this module's parameters, including submodules'."""
+        for value in vars(self).values():
+            if isinstance(value, Parameter):
+                yield value
+            elif isinstance(value, Module):
+                yield from value.parameters()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.parameters()
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield self and all submodules depth-first."""
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    def train(self, mode: bool = True) -> "Module":
+        """Switch training mode recursively (affects batch-norm)."""
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to inference mode recursively."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class Conv2d(Module):
+    """2-D convolution with He-normal initialization."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "conv",
+    ) -> None:
+        if min(in_channels, out_channels, kernel_size) < 1:
+            raise ConfigurationError("conv dimensions must be >= 1")
+        rng = rng or np.random.default_rng()
+        fan_in = in_channels * kernel_size * kernel_size
+        scale = np.sqrt(2.0 / fan_in)
+        self.weight = Parameter(
+            rng.normal(0.0, scale, size=(out_channels, in_channels, kernel_size, kernel_size)),
+            name=f"{name}.weight",
+        )
+        self.bias = Parameter(np.zeros(out_channels), name=f"{name}.bias") if bias else None
+        self.stride = stride
+        self.padding = padding
+        self.name = name
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out, x_cols = F.conv2d_forward(
+            x,
+            self.weight.data,
+            self.bias.data if self.bias is not None else None,
+            self.stride,
+            self.padding,
+        )
+        self._cache = (x_cols, x.shape)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise TrainingError("backward called before forward")
+        x_cols, x_shape = self._cache
+        grad_x, grad_w, grad_b = F.conv2d_backward(
+            grad_out, x_cols, x_shape, self.weight.data, self.stride, self.padding
+        )
+        self.weight.grad += grad_w
+        if self.bias is not None:
+            self.bias.grad += grad_b
+        return grad_x
+
+
+class Linear(Module):
+    """Fully connected layer."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "fc",
+    ) -> None:
+        rng = rng or np.random.default_rng()
+        scale = np.sqrt(2.0 / in_features)
+        self.weight = Parameter(
+            rng.normal(0.0, scale, size=(in_features, out_features)), name=f"{name}.weight"
+        )
+        self.bias = Parameter(np.zeros(out_features), name=f"{name}.bias")
+        self.name = name
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2:
+            raise ShapeError(f"Linear expects (batch, features), got {x.shape}")
+        self._x = x
+        return x @ self.weight.data + self.bias.data
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise TrainingError("backward called before forward")
+        self.weight.grad += self._x.T @ grad_out
+        self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.data.T
+
+
+class ReLU(Module):
+    """Rectified linear unit — the source of READ's non-negative inputs."""
+
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out, self._mask = F.relu_forward(x)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise TrainingError("backward called before forward")
+        return F.relu_backward(grad_out, self._mask)
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over channels of ``(N, C, H, W)``."""
+
+    def __init__(self, channels: int, momentum: float = 0.1, eps: float = 1e-5, name: str = "bn"):
+        self.gamma = Parameter(np.ones(channels), name=f"{name}.gamma")
+        self.beta = Parameter(np.zeros(channels), name=f"{name}.beta")
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+        self.momentum = momentum
+        self.eps = eps
+        self.name = name
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out, self._cache = F.batchnorm_forward(
+            x,
+            self.gamma.data,
+            self.beta.data,
+            self.running_mean,
+            self.running_var,
+            self.momentum,
+            self.eps,
+            self.training,
+        )
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise TrainingError("backward called before forward")
+        grad_x, grad_gamma, grad_beta = F.batchnorm_backward(grad_out, self._cache)
+        self.gamma.grad += grad_gamma
+        self.beta.grad += grad_beta
+        return grad_x
+
+
+class MaxPool2d(Module):
+    """Max pooling (VGG's down-sampling)."""
+
+    def __init__(self, size: int = 2, stride: Optional[int] = None) -> None:
+        self.size = size
+        self.stride = stride or size
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out, idx = F.maxpool2d_forward(x, self.size, self.stride)
+        self._cache = (idx, x.shape)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise TrainingError("backward called before forward")
+        idx, x_shape = self._cache
+        return F.maxpool2d_backward(grad_out, idx, x_shape, self.size, self.stride)
+
+
+class GlobalAvgPool(Module):
+    """Global average pooling: ``(N, C, H, W) -> (N, C)`` (ResNet head)."""
+
+    def __init__(self) -> None:
+        self._x_shape = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return F.global_avgpool_forward(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise TrainingError("backward called before forward")
+        return F.global_avgpool_backward(grad_out, self._x_shape)
+
+
+class Flatten(Module):
+    """``(N, C, H, W) -> (N, C*H*W)`` (VGG head)."""
+
+    def __init__(self) -> None:
+        self._x_shape = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise TrainingError("backward called before forward")
+        return grad_out.reshape(self._x_shape)
+
+
+class Sequential(Module):
+    """Chain of modules executed in order."""
+
+    def __init__(self, layers: Sequence[Module]) -> None:
+        self.layers: List[Module] = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+
+class BasicBlock(Module):
+    """ResNet basic block: two 3x3 convs with identity/projection shortcut."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "block",
+    ) -> None:
+        self.conv1 = Conv2d(
+            in_channels, out_channels, 3, stride=stride, padding=1, bias=False,
+            rng=rng, name=f"{name}.conv1",
+        )
+        self.bn1 = BatchNorm2d(out_channels, name=f"{name}.bn1")
+        self.relu1 = ReLU()
+        self.conv2 = Conv2d(
+            out_channels, out_channels, 3, stride=1, padding=1, bias=False,
+            rng=rng, name=f"{name}.conv2",
+        )
+        self.bn2 = BatchNorm2d(out_channels, name=f"{name}.bn2")
+        self.relu_out = ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut_conv: Optional[Conv2d] = Conv2d(
+                in_channels, out_channels, 1, stride=stride, padding=0, bias=False,
+                rng=rng, name=f"{name}.shortcut",
+            )
+            self.shortcut_bn: Optional[BatchNorm2d] = BatchNorm2d(
+                out_channels, name=f"{name}.shortcut_bn"
+            )
+        else:
+            self.shortcut_conv = None
+            self.shortcut_bn = None
+        self.name = name
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        main = self.bn1.forward(self.conv1.forward(x))
+        main = self.relu1.forward(main)
+        main = self.bn2.forward(self.conv2.forward(main))
+        if self.shortcut_conv is not None:
+            residual = self.shortcut_bn.forward(self.shortcut_conv.forward(x))
+        else:
+            residual = x
+        return self.relu_out.forward(main + residual)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_sum = self.relu_out.backward(grad_out)
+        # main branch
+        grad_main = self.bn2.backward(grad_sum)
+        grad_main = self.conv2.backward(grad_main)
+        grad_main = self.relu1.backward(grad_main)
+        grad_main = self.bn1.backward(grad_main)
+        grad_main = self.conv1.backward(grad_main)
+        # shortcut branch
+        if self.shortcut_conv is not None:
+            grad_short = self.shortcut_bn.backward(grad_sum)
+            grad_short = self.shortcut_conv.backward(grad_short)
+        else:
+            grad_short = grad_sum
+        return grad_main + grad_short

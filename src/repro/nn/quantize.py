@@ -1,0 +1,326 @@
+"""Post-training int8 quantization and integer inference.
+
+The accelerator executes convolutions as integer GEMMs: uint8 activations
+(ReLU outputs), int8 weights, wide-accumulator partial sums (Section II).
+This module turns a trained float :class:`~repro.nn.models.ClassifierNetwork`
+into a :class:`QuantizedNetwork` that
+
+* folds each batch-norm into its preceding convolution (what a deployment
+  compiler does — and what determines the weight *signs* READ reorders);
+* quantizes weights per-tensor symmetric int8 and activations per-tensor
+  uint8 (scales from a calibration batch);
+* executes each convolution as an exact integer GEMM, exposing the raw
+  integer accumulators to a fault-injection hook (the paper's
+  error-injection point: output activations *before* the activation
+  function) and optionally recording the quantized operand streams that
+  the systolic-array TER simulation replays.
+
+Non-convolution operators (ReLU, pooling, residual adds, the final
+classifier) execute in float — they are not in the MAC datapath under
+study.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..arch.mapper import im2col
+from ..errors import QuantizationError, TrainingError
+from . import functional as F
+from .layers import (
+    BasicBlock,
+    BatchNorm2d,
+    Conv2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+from .models import ClassifierNetwork
+
+#: Injection hook signature: (integer accumulators (pixels, K), layer) -> modified.
+Injector = Callable[[np.ndarray, "QuantizedConv"], np.ndarray]
+
+
+def fold_batchnorm(
+    conv: Conv2d, bn: Optional[BatchNorm2d]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fold an inference-mode batch norm into conv weights and bias.
+
+    Returns the effective float ``(weight, bias)`` such that
+    ``bn(conv(x)) == conv'(x)`` with the running statistics.
+    """
+    weight = conv.weight.data.copy()
+    bias = conv.bias.data.copy() if conv.bias is not None else np.zeros(weight.shape[0])
+    if bn is None:
+        return weight, bias
+    inv_std = 1.0 / np.sqrt(bn.running_var + bn.eps)
+    scale = bn.gamma.data * inv_std  # per output channel
+    weight *= scale[:, None, None, None]
+    bias = (bias - bn.running_mean) * scale + bn.beta.data
+    return weight, bias
+
+
+def quantize_weights(weight: np.ndarray, n_bits: int = 8) -> Tuple[np.ndarray, float]:
+    """Per-tensor symmetric int8 quantization: returns ``(w_q, scale)``."""
+    max_abs = float(np.abs(weight).max())
+    if max_abs == 0:
+        return np.zeros_like(weight, dtype=np.int64), 1.0
+    q_max = (1 << (n_bits - 1)) - 1
+    scale = max_abs / q_max
+    w_q = np.clip(np.round(weight / scale), -q_max - 1, q_max).astype(np.int64)
+    return w_q, scale
+
+
+class QuantizedConv:
+    """A conv layer executing as an integer GEMM on the accelerator.
+
+    Lifecycle: constructed un-calibrated (``in_scale is None``) — forward
+    then runs in float and records the input range; after
+    :meth:`finalize_calibration` the forward path is the integer GEMM.
+
+    Attributes
+    ----------
+    name:
+        Source conv layer name (keys the per-layer TER/BER tables).
+    weight_q / w_scale / bias:
+        Folded, quantized parameters.
+    injector:
+        Optional fault hook applied to the raw accumulators.
+    recorded_cols:
+        When ``record`` is set, the most recent quantized im2col operand
+        matrix ``(pixels, C*Fy*Fx)`` — the exact stream the systolic
+        simulator replays for TER measurement.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        weight: np.ndarray,
+        bias: np.ndarray,
+        stride: int,
+        padding: int,
+        act_bits: int = 8,
+    ) -> None:
+        self.name = name
+        self.weight_float = weight
+        self.weight_q, self.w_scale = quantize_weights(weight)
+        self.bias = bias
+        self.stride = stride
+        self.padding = padding
+        self.act_bits = act_bits
+        self.in_scale: Optional[float] = None
+        self._observed_max = 0.0
+        self.injector: Optional[Injector] = None
+        self.record = False
+        self.recorded_cols: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def out_channels(self) -> int:
+        return self.weight_q.shape[0]
+
+    @property
+    def kernel_area(self) -> int:
+        return self.weight_q.shape[2] * self.weight_q.shape[3]
+
+    @property
+    def n_macs_per_output(self) -> int:
+        """Reduction length N of Eq. 1."""
+        return int(np.prod(self.weight_q.shape[1:]))
+
+    def lowered_weight_matrix(self) -> np.ndarray:
+        """Quantized GEMM weight matrix ``(C*Fy*Fx, K)`` for READ planning."""
+        k = self.weight_q.shape[0]
+        return self.weight_q.reshape(k, -1).T.copy()
+
+    # ------------------------------------------------------------------ #
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.in_scale is None:
+            return self._forward_calibrate(x)
+        return self._forward_quantized(x)
+
+    __call__ = forward
+
+    def _forward_calibrate(self, x: np.ndarray) -> np.ndarray:
+        self._observed_max = max(self._observed_max, float(x.max(initial=0.0)))
+        out, _ = F.conv2d_forward(x, self.weight_float, self.bias, self.stride, self.padding)
+        return out
+
+    def finalize_calibration(self) -> None:
+        """Fix the activation scale from the observed calibration range."""
+        if self._observed_max <= 0:
+            raise QuantizationError(
+                f"layer {self.name}: no positive activations observed during calibration"
+            )
+        self.in_scale = self._observed_max / ((1 << self.act_bits) - 1)
+
+    def quantize_input(self, x: np.ndarray) -> np.ndarray:
+        """uint8-quantize a (non-negative) activation tensor."""
+        if self.in_scale is None:
+            raise QuantizationError(f"layer {self.name} is not calibrated")
+        q_max = (1 << self.act_bits) - 1
+        return np.clip(np.round(x / self.in_scale), 0, q_max).astype(np.int64)
+
+    def _forward_quantized(self, x: np.ndarray) -> np.ndarray:
+        n, _, h, w = x.shape
+        k, _, fy, fx = self.weight_q.shape
+        x_q = self.quantize_input(x)
+        cols = im2col(x_q, fy, fx, stride=self.stride, padding=self.padding)
+        if self.record:
+            self.recorded_cols = cols
+        acc = cols @ self.lowered_weight_matrix()  # (N*OH*OW, K) int64
+        if self.injector is not None:
+            acc = self.injector(acc, self)
+        out = acc.astype(np.float64) * (self.in_scale * self.w_scale) + self.bias[None, :]
+        oh, ow = F.conv_out_hw(h, w, fy, fx, self.stride, self.padding)
+        return out.reshape(n, oh, ow, k).transpose(0, 3, 1, 2)
+
+
+class _QBlock:
+    """Quantized ResNet basic block (inference only)."""
+
+    def __init__(self, block: BasicBlock) -> None:
+        self.qconv1 = _fold_to_qconv(block.conv1, block.bn1)
+        self.qconv2 = _fold_to_qconv(block.conv2, block.bn2)
+        if block.shortcut_conv is not None:
+            self.qshortcut: Optional[QuantizedConv] = _fold_to_qconv(
+                block.shortcut_conv, block.shortcut_bn
+            )
+        else:
+            self.qshortcut = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        main = np.maximum(self.qconv1(x), 0.0)
+        main = self.qconv2(main)
+        residual = self.qshortcut(x) if self.qshortcut is not None else x
+        return np.maximum(main + residual, 0.0)
+
+    __call__ = forward
+
+    def qconvs(self) -> List[QuantizedConv]:
+        convs = [self.qconv1, self.qconv2]
+        if self.qshortcut is not None:
+            convs.append(self.qshortcut)
+        return convs
+
+
+def _fold_to_qconv(conv: Conv2d, bn: Optional[BatchNorm2d]) -> QuantizedConv:
+    weight, bias = fold_batchnorm(conv, bn)
+    return QuantizedConv(
+        name=conv.name, weight=weight, bias=bias, stride=conv.stride, padding=conv.padding
+    )
+
+
+class QuantizedNetwork:
+    """Integer-inference version of a trained :class:`ClassifierNetwork`.
+
+    Construction folds/quantizes every convolution; call
+    :meth:`calibrate` with a representative batch before inference.
+    """
+
+    def __init__(self, model: ClassifierNetwork) -> None:
+        model.eval()
+        self.name = model.name
+        self._ops: List[object] = []
+        self._build(model.features)
+        self.head = model.head  # float classifier
+        self._calibrated = False
+
+    # ------------------------------------------------------------------ #
+    def _build(self, features: Sequential) -> None:
+        layers = list(features)
+        i = 0
+        while i < len(layers):
+            layer = layers[i]
+            if isinstance(layer, Conv2d):
+                bn = None
+                if i + 1 < len(layers) and isinstance(layers[i + 1], BatchNorm2d):
+                    bn = layers[i + 1]
+                    i += 1
+                self._ops.append(_fold_to_qconv(layer, bn))
+            elif isinstance(layer, BasicBlock):
+                self._ops.append(_QBlock(layer))
+            elif isinstance(layer, BatchNorm2d):
+                raise QuantizationError("unfused BatchNorm without preceding conv")
+            else:
+                self._ops.append(layer)  # ReLU / pooling / etc. run in float
+            i += 1
+
+    # ------------------------------------------------------------------ #
+    def qconvs(self, include_shortcuts: bool = False) -> List[QuantizedConv]:
+        """Quantized conv layers in execution order (Fig. 8's unit)."""
+        convs: List[QuantizedConv] = []
+        for op in self._ops:
+            if isinstance(op, QuantizedConv):
+                convs.append(op)
+            elif isinstance(op, _QBlock):
+                for qc in op.qconvs():
+                    if not include_shortcuts and "shortcut" in qc.name:
+                        continue
+                    convs.append(qc)
+        return convs
+
+    def _forward_features(self, x: np.ndarray) -> np.ndarray:
+        for op in self._ops:
+            if isinstance(op, (QuantizedConv, _QBlock)):
+                x = op(x)
+            elif isinstance(op, ReLU):
+                x = np.maximum(x, 0.0)
+            elif isinstance(op, Module):
+                op.training = False
+                x = op.forward(x)
+            else:  # pragma: no cover - defensive
+                raise TrainingError(f"unexpected op {op!r}")
+        return x
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Full inference: quantized features, float head."""
+        if not self._calibrated:
+            raise QuantizationError("call calibrate(batch) before inference")
+        return self.head.forward(self._forward_features(x))
+
+    __call__ = forward
+
+    # ------------------------------------------------------------------ #
+    def calibrate(self, x: np.ndarray) -> None:
+        """One float pass to fix all activation scales."""
+        self._forward_features(x)
+        for qc in self.qconvs(include_shortcuts=True):
+            qc.finalize_calibration()
+        self._calibrated = True
+
+    def set_injector(self, injector: Optional[Injector]) -> None:
+        """Install (or clear) the fault hook on every conv layer."""
+        for qc in self.qconvs(include_shortcuts=True):
+            qc.injector = injector
+
+    def set_recording(self, record: bool) -> None:
+        """Toggle operand-stream recording on every conv layer."""
+        for qc in self.qconvs(include_shortcuts=True):
+            qc.record = record
+            if not record:
+                qc.recorded_cols = None
+
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        topk: int = 1,
+        batch_size: int = 128,
+        injector: Optional[Injector] = None,
+    ) -> float:
+        """Top-k accuracy of quantized inference, optionally fault-injected."""
+        self.set_injector(injector)
+        try:
+            correct_weighted = 0.0
+            for start in range(0, x.shape[0], batch_size):
+                xb = x[start : start + batch_size]
+                yb = y[start : start + batch_size]
+                logits = self.forward(xb)
+                correct_weighted += F.accuracy(logits, yb, topk=topk) * xb.shape[0]
+            return correct_weighted / x.shape[0]
+        finally:
+            self.set_injector(None)

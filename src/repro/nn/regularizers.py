@@ -1,0 +1,144 @@
+"""Reliability-aware training regularizers (the paper's future work).
+
+Section V-B closes with: *"These results suggest that the TER can be
+further improved by adjusting the weight matrix according to certain
+rules during training."*  This module implements those rules as
+differentiable penalties added to the training loss:
+
+* :class:`NegativeWeightPenalty` — pushes conv weights toward the
+  non-negative half-space (a hinge on negative values).  Layers with a
+  higher non-negative fraction front-load better under Algorithm 1 and
+  produce fewer residual sign flips (the paper's own observation about
+  which layers reorder well).
+* :class:`SignCoherencePenalty` — reduces the *sign difference* between
+  output channels (Problem 2's objective) with a smooth surrogate: it
+  penalizes the variance of tanh-squashed weights across each input
+  channel's row, so channels agree on which inputs carry positive
+  weight and cluster-then-reorder groups them losslessly.
+
+Both integrate with :class:`repro.nn.training.Trainer` via the
+``regularizer`` argument: the penalty's gradient is accumulated into the
+conv-weight gradients after each backward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .layers import Parameter
+
+
+class WeightRegularizer:
+    """Interface: penalty value and gradient for a set of parameters."""
+
+    def penalty_and_grad(self, param: Parameter) -> Tuple[float, np.ndarray]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def applies_to(self, param: Parameter) -> bool:
+        """Regularize conv/linear weights only (never biases or BN)."""
+        return param.name.endswith(".weight") and param.data.ndim >= 2
+
+    def apply(self, parameters: Iterable[Parameter]) -> float:
+        """Accumulate gradients in place; return the total penalty."""
+        total = 0.0
+        for param in parameters:
+            if not self.applies_to(param):
+                continue
+            value, grad = self.penalty_and_grad(param)
+            param.grad += grad
+            total += value
+        return total
+
+
+class NegativeWeightPenalty(WeightRegularizer):
+    """Hinge penalty ``strength * sum(max(-w, 0))`` on each weight tensor.
+
+    Negative weights pay linearly; non-negative weights are free.  Like
+    weight decay, the gradient acts per element (``-strength`` on every
+    negative entry), nudging the sign distribution toward the
+    reorder-friendly regime without forcing a non-negative network
+    (which would cost accuracy).  Useful strengths sit near the weight
+    decay (1e-4 .. 1e-2).
+    """
+
+    def __init__(self, strength: float = 1e-3) -> None:
+        if strength < 0:
+            raise ConfigurationError("strength must be non-negative")
+        self.strength = strength
+
+    def applies_to(self, param: Parameter) -> bool:
+        # conv weights only: biasing the classifier's signs would distort
+        # the logits, and the MAC datapath under study is the conv GEMM.
+        return param.name.endswith(".weight") and param.data.ndim == 4
+
+    def penalty_and_grad(self, param: Parameter) -> Tuple[float, np.ndarray]:
+        w = param.data
+        negative = w < 0
+        value = self.strength * float((-w[negative]).sum())
+        grad = np.where(negative, -self.strength, 0.0)
+        return value, grad
+
+
+class SignCoherencePenalty(WeightRegularizer):
+    """Smooth surrogate of Problem 2's sign-difference objective.
+
+    For a conv weight ``(K, C, Fy, Fx)`` viewed as sign vectors per
+    output channel, the penalty is the variance across K of
+    ``tanh(w / tau)`` at every (input-channel, tap) position, averaged.
+    Zero variance means all output channels agree on each position's
+    sign — the clustering objective's global optimum.
+    """
+
+    def __init__(self, strength: float = 1e-3, tau: float = 0.05) -> None:
+        if strength < 0:
+            raise ConfigurationError("strength must be non-negative")
+        if tau <= 0:
+            raise ConfigurationError("tau must be positive")
+        self.strength = strength
+        self.tau = tau
+
+    def applies_to(self, param: Parameter) -> bool:
+        return param.name.endswith(".weight") and param.data.ndim == 4
+
+    def penalty_and_grad(self, param: Parameter) -> Tuple[float, np.ndarray]:
+        w = param.data
+        k = w.shape[0]
+        if k < 2:
+            return 0.0, np.zeros_like(w)
+        s = np.tanh(w / self.tau)                       # squashed signs
+        mean = s.mean(axis=0, keepdims=True)            # per-position mean over K
+        centered = s - mean
+        value = self.strength * float((centered**2).sum()) / k
+        # d/dw [ sum_k (s_k - mean)^2 / K ] = 2 (s_j - mean) s'(w_j) / K
+        # (the -mean term's contribution cancels: sum_k (s_k - mean) = 0)
+        ds = (1.0 - s**2) / self.tau
+        grad = self.strength * 2.0 * centered * ds / k
+        return value, grad
+
+
+class CompositeRegularizer(WeightRegularizer):
+    """Sum of regularizers (e.g. both penalties above)."""
+
+    def __init__(self, parts: List[WeightRegularizer]) -> None:
+        if not parts:
+            raise ConfigurationError("need at least one regularizer")
+        self.parts = list(parts)
+
+    def apply(self, parameters: Iterable[Parameter]) -> float:
+        params = list(parameters)
+        return sum(part.apply(params) for part in self.parts)
+
+
+def read_friendly_regularizer(
+    negative_strength: float = 1e-3, coherence_strength: float = 5e-4
+) -> CompositeRegularizer:
+    """The combination the paper's future-work remark suggests."""
+    return CompositeRegularizer(
+        [
+            NegativeWeightPenalty(negative_strength),
+            SignCoherencePenalty(coherence_strength),
+        ]
+    )

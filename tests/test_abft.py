@@ -1,0 +1,128 @@
+"""Tests for the ABFT (checksum) baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.faults.abft import (
+    check_and_correct,
+    encode_operands,
+    overhead_macs,
+    protected_gemm,
+)
+
+
+@pytest.fixture()
+def operands():
+    rng = np.random.default_rng(0)
+    acts = rng.integers(0, 50, size=(6, 10))
+    weights = rng.integers(-20, 20, size=(10, 5))
+    return acts, weights
+
+
+class TestEncoding:
+    def test_checksum_row_and_column(self, operands):
+        acts, weights = operands
+        act_ext, w_ext = encode_operands(acts, weights)
+        assert act_ext.shape == (7, 10)
+        assert w_ext.shape == (10, 6)
+        assert np.array_equal(act_ext[-1], acts.sum(axis=0))
+        assert np.array_equal(w_ext[:, -1], weights.sum(axis=1))
+
+    def test_encoded_product_self_consistent(self, operands):
+        acts, weights = operands
+        act_ext, w_ext = encode_operands(acts, weights)
+        product = act_ext @ w_ext
+        assert np.array_equal(product[-1, :-1], product[:-1, :-1].sum(axis=0))
+        assert np.array_equal(product[:-1, -1], product[:-1, :-1].sum(axis=1))
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            encode_operands(np.ones(3), np.ones((3, 2)))
+        with pytest.raises(ShapeError):
+            encode_operands(np.ones((2, 3)), np.ones((4, 2)))
+
+
+class TestCheckAndCorrect:
+    def test_clean_product_passes(self, operands):
+        acts, weights = operands
+        corrected, report = protected_gemm(acts, weights)
+        assert report.clean
+        assert np.array_equal(corrected, acts @ weights)
+
+    def test_single_error_corrected(self, operands):
+        acts, weights = operands
+
+        def corrupt(product):
+            product = product.copy()
+            product[2, 1] += 12345
+            return product
+
+        corrected, report = protected_gemm(acts, weights, fault=corrupt)
+        assert report.detected
+        assert report.corrected == 1
+        assert not report.residual_error
+        assert np.array_equal(corrected, acts @ weights)
+
+    def test_checksum_cell_error_detected_interior_intact(self, operands):
+        acts, weights = operands
+
+        def corrupt(product):
+            product = product.copy()
+            product[-1, 2] += 7  # corrupt a checksum, not the data
+            return product
+
+        corrected, report = protected_gemm(acts, weights, fault=corrupt)
+        assert report.detected
+        assert np.array_equal(corrected, acts @ weights)
+
+    def test_multi_error_flagged_residual(self, operands):
+        acts, weights = operands
+
+        def corrupt(product):
+            product = product.copy()
+            product[0, 0] += 5
+            product[3, 2] += 9
+            return product
+
+        _, report = protected_gemm(acts, weights, fault=corrupt)
+        assert report.detected
+        assert report.residual_error
+
+    def test_rejects_tiny_product(self):
+        with pytest.raises(ShapeError):
+            check_and_correct(np.ones((1, 1)))
+
+    @given(
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=1, max_value=10_000),
+    )
+    @settings(max_examples=60)
+    def test_any_single_interior_error_corrected(self, row, col, magnitude):
+        rng = np.random.default_rng(1)
+        acts = rng.integers(0, 30, size=(6, 8))
+        weights = rng.integers(-15, 15, size=(8, 5))
+
+        def corrupt(product):
+            product = product.copy()
+            product[row, col] += magnitude
+            return product
+
+        corrected, report = protected_gemm(acts, weights, fault=corrupt)
+        assert report.corrected == 1
+        assert np.array_equal(corrected, acts @ weights)
+
+
+class TestOverhead:
+    def test_overhead_formula(self):
+        extra, relative = overhead_macs(n_pixels=64, reduction=144, n_outputs=32)
+        assert extra == (65 * 33 - 64 * 32) * 144
+        assert relative == pytest.approx(extra / (64 * 32 * 144))
+
+    def test_overhead_shrinks_with_size(self):
+        _, small = overhead_macs(8, 16, 8)
+        _, large = overhead_macs(256, 16, 256)
+        assert large < small

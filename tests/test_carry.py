@@ -1,0 +1,136 @@
+"""Tests for the exact carry-chain / toggle-span analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import fixedpoint as fp
+from repro.hw.carry import (
+    accumulation_chain_lengths,
+    add_trace,
+    highest_set_bit,
+    longest_one_run,
+)
+
+addend = st.integers(min_value=-(2**22), max_value=2**22 - 1)
+
+
+class TestBitScans:
+    @pytest.mark.parametrize(
+        "field,expected",
+        [(0, 0), (0b1, 1), (0b1010, 1), (0b110111, 3), (0xFFFFFF, 24)],
+    )
+    def test_longest_one_run(self, field, expected):
+        assert int(longest_one_run(np.array(field), 24)) == expected
+
+    @pytest.mark.parametrize("field,expected", [(0, 0), (1, 1), (0b10100, 5), (1 << 23, 24)])
+    def test_highest_set_bit(self, field, expected):
+        assert int(highest_set_bit(np.array(field), 24)) == expected
+
+    def test_scans_vectorized_shape(self):
+        fields = np.arange(32).reshape(4, 8)
+        assert longest_one_run(fields, 8).shape == (4, 8)
+        assert highest_set_bit(fields, 8).shape == (4, 8)
+
+
+class TestAddTrace:
+    def test_simple_sum(self):
+        trace = add_trace(np.array(3), np.array(5), width=24)
+        assert int(trace.total) == 8
+
+    def test_carry_recovered_exactly(self):
+        # adding 1 to 0b0111: generate at bit 0, live propagation through
+        # bits 1 and 2 (bit 3 absorbs the carry) -> chain = 2 + 1
+        trace = add_trace(np.array(0b0111), np.array(1), width=24)
+        assert int(trace.total) == 8
+        assert int(trace.chain_length) == 3
+
+    def test_no_carry_no_chain(self):
+        trace = add_trace(np.array(0b0101), np.array(0b1010), width=24)
+        assert int(trace.chain_length) == 0
+
+    def test_sign_flip_detected_pos_to_neg(self):
+        trace = add_trace(np.array(2), np.array(-6), width=24)
+        assert bool(trace.sign_flip)
+        assert int(trace.total) == -4
+
+    def test_sign_flip_detected_neg_to_pos(self):
+        trace = add_trace(np.array(-2), np.array(6), width=24)
+        assert bool(trace.sign_flip)
+
+    def test_sign_flip_full_toggle_span(self):
+        # any sign flip rewrites the sign region: span == width
+        for a, b in [(2, -6), (-2, 6), (100, -101), (-1, 1)]:
+            trace = add_trace(np.array(a), np.array(b), width=24)
+            assert bool(trace.sign_flip)
+            assert int(trace.toggle_span) == 24
+
+    def test_non_flip_span_bounded_by_magnitudes(self):
+        # without a sign flip the span is bounded by the operand widths + 1
+        trace = add_trace(np.array(1000), np.array(24), width=24)
+        assert not bool(trace.sign_flip)
+        assert int(trace.toggle_span) <= 11
+
+    @given(addend, addend)
+    @settings(max_examples=200)
+    def test_total_matches_wrapped_sum(self, a, b):
+        trace = add_trace(np.array(a), np.array(b), width=24)
+        assert int(trace.total) == int(fp.wrap(a + b, 24))
+
+    @given(addend, addend)
+    @settings(max_examples=200)
+    def test_carry_identity(self, a, b):
+        """c = a ^ b ^ s must reproduce the ripple-carry recurrence."""
+        trace = add_trace(np.array(a), np.array(b), width=24)
+        fa = int(fp.to_field(fp.wrap(a, 24), 24))
+        fb = int(fp.to_field(fp.wrap(b, 24), 24))
+        carry_bits = int(trace.carry)
+        c = 0
+        for i in range(24):
+            assert ((carry_bits >> i) & 1) == c
+            ai, bi = (fa >> i) & 1, (fb >> i) & 1
+            c = (ai & bi) | (c & (ai ^ bi))
+
+    @given(addend, addend)
+    @settings(max_examples=200)
+    def test_sign_flip_iff_span_is_width(self, a, b):
+        trace = add_trace(np.array(a), np.array(b), width=24)
+        assert bool(trace.sign_flip) == (int(trace.toggle_span) == 24)
+
+
+class TestAccumulation:
+    def test_prefix_sums(self):
+        products = np.array([1, 2, 3, -10])
+        psums, chains, spans, flips = accumulation_chain_lengths(products)
+        assert psums.tolist() == [1, 3, 6, -4]
+        assert flips.tolist() == [False, False, False, True]
+        assert int(spans[-1]) == 24
+
+    def test_initial_value(self):
+        psums, _, _, _ = accumulation_chain_lengths(np.array([1]), initial=-5)
+        assert psums.tolist() == [-4]
+
+    def test_initial_negative_no_flip(self):
+        _, _, _, flips = accumulation_chain_lengths(np.array([1]), initial=-5)
+        assert not bool(flips[0])
+
+    def test_batched_shapes(self):
+        products = np.arange(24).reshape(2, 3, 4)
+        psums, chains, spans, flips = accumulation_chain_lengths(products)
+        for arr in (psums, chains, spans, flips):
+            assert arr.shape == (2, 3, 4)
+
+    @given(st.lists(st.integers(min_value=-(2**15), max_value=2**15), min_size=1, max_size=20))
+    @settings(max_examples=100)
+    def test_matches_cumsum(self, products):
+        psums, _, _, _ = accumulation_chain_lengths(np.array(products))
+        assert psums.tolist() == np.cumsum(products).tolist()
+
+    @given(st.lists(st.integers(min_value=-(2**15), max_value=2**15), min_size=1, max_size=20))
+    @settings(max_examples=100)
+    def test_flip_count_matches_sign_sequence(self, products):
+        psums, _, _, flips = accumulation_chain_lengths(np.array(products))
+        signs = [0] + [1 if p < 0 else 0 for p in psums]
+        expected = sum(a != b for a, b in zip(signs, signs[1:]))
+        assert int(flips.sum()) == expected

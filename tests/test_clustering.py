@@ -1,0 +1,145 @@
+"""Tests for balanced output-channel clustering (Problem 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.clustering import (
+    BalancedSignClusterer,
+    clustering_objective,
+    contiguous_clusters,
+    sign_difference,
+    submatrix_sign_difference,
+)
+from repro.errors import ConfigurationError, ShapeError
+
+matrices = arrays(
+    dtype=np.int64,
+    shape=st.tuples(st.integers(4, 16), st.just(8)),
+    elements=st.integers(min_value=-64, max_value=64),
+)
+
+
+class TestSignDifference:
+    def test_identical_channels(self):
+        assert sign_difference(np.array([1, -2, 3]), np.array([5, -7, 1])) == 0
+
+    def test_opposite_channels(self):
+        assert sign_difference(np.array([1, 1]), np.array([-1, -1])) == 2
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            sign_difference(np.ones(3), np.ones(4))
+
+    def test_paper_example_matrix(self):
+        """The Section IV-C worked example: clustering {0,2} and {1,3}."""
+        w = np.array(
+            [
+                [4, -5, 5, -1],
+                [-10, 3, -2, 2],
+                [9, -2, 3, -1],
+                [-2, 3, -6, 3],
+            ]
+        )
+        good = clustering_objective(w, [np.array([0, 2]), np.array([1, 3])])
+        naive = clustering_objective(w, [np.array([0, 1]), np.array([2, 3])])
+        assert good < naive
+        assert good == 0  # columns 0/2 and 1/3 have identical sign vectors
+
+
+class TestSubmatrixSignDifference:
+    def test_single_column_is_zero(self):
+        assert submatrix_sign_difference(np.ones((5, 1))) == 0
+
+    def test_matches_pairwise_definition(self):
+        rng = np.random.default_rng(0)
+        w = rng.integers(-10, 10, size=(6, 4))
+        expected = sum(
+            sign_difference(w[:, i], w[:, j])
+            for i in range(4)
+            for j in range(i + 1, 4)
+        )
+        assert submatrix_sign_difference(w) == expected
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            submatrix_sign_difference(np.ones(4))
+
+
+class TestBalancedSignClusterer:
+    def test_balance_enforced(self):
+        rng = np.random.default_rng(1)
+        w = rng.integers(-20, 20, size=(10, 12))
+        result = BalancedSignClusterer(cluster_size=4).fit(w)
+        assert sorted(len(c) for c in result.clusters) == [4, 4, 4]
+
+    def test_partition_covers_all_channels(self):
+        rng = np.random.default_rng(2)
+        w = rng.integers(-20, 20, size=(8, 16))
+        result = BalancedSignClusterer(cluster_size=4).fit(w)
+        assert sorted(result.permutation().tolist()) == list(range(16))
+
+    def test_rejects_indivisible_k(self):
+        with pytest.raises(ConfigurationError):
+            BalancedSignClusterer(cluster_size=5).fit(np.ones((4, 12)))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            BalancedSignClusterer(cluster_size=0)
+        with pytest.raises(ConfigurationError):
+            BalancedSignClusterer(cluster_size=2, max_iterations=0)
+
+    def test_recovers_planted_structure(self):
+        """Two sign archetypes interleaved -> clustering separates them."""
+        rng = np.random.default_rng(3)
+        a = rng.integers(1, 40, size=(16, 1))
+        pattern_a = np.where(np.arange(16)[:, None] % 2 == 0, a, -a)
+        pattern_b = -pattern_a
+        cols = []
+        for i in range(8):
+            cols.append(pattern_a + rng.integers(0, 3) if i % 2 == 0 else pattern_b)
+        w = np.concatenate(cols, axis=1)
+        result = BalancedSignClusterer(cluster_size=4, seed=0).fit(w)
+        for cluster in result.clusters:
+            parities = {int(c) % 2 for c in cluster}
+            assert len(parities) == 1  # never mixes the two archetypes
+
+    @given(matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_never_worse_than_contiguous(self, w):
+        """Clustering must beat (or tie) naive contiguous segmentation."""
+        result = BalancedSignClusterer(cluster_size=4, seed=0).fit(w)
+        naive = clustering_objective(w, contiguous_clusters(8, 4))
+        assert result.objective <= naive
+
+    def test_objective_matches_clusters(self):
+        rng = np.random.default_rng(4)
+        w = rng.integers(-20, 20, size=(10, 8))
+        result = BalancedSignClusterer(cluster_size=4).fit(w)
+        assert result.objective == clustering_objective(w, result.clusters)
+
+    def test_history_recorded(self):
+        rng = np.random.default_rng(5)
+        w = rng.integers(-20, 20, size=(10, 8))
+        result = BalancedSignClusterer(cluster_size=2).fit(w)
+        assert result.history.n_iterations >= 1
+        assert len(result.history.moved) == result.history.n_iterations
+
+    def test_swap_refinement_improves_or_ties(self):
+        rng = np.random.default_rng(6)
+        w = rng.integers(-20, 20, size=(24, 16))
+        plain = BalancedSignClusterer(cluster_size=4, swap_refinement=False, seed=0).fit(w)
+        refined = BalancedSignClusterer(cluster_size=4, swap_refinement=True, seed=0).fit(w)
+        assert refined.objective <= plain.objective
+
+
+class TestContiguousClusters:
+    def test_chunks(self):
+        clusters = contiguous_clusters(10, 4)
+        assert [c.tolist() for c in clusters] == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            contiguous_clusters(10, 0)

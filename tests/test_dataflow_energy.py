@@ -1,0 +1,128 @@
+"""Tests for dataflow schedules and the energy/area cost model."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import AcceleratorConfig, Dataflow
+from repro.arch.dataflow import GemmWorkload, ScheduleBuilder, ScheduleStats
+from repro.arch.energy import AcceleratorCostModel, EnergyModel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def workload():
+    return GemmWorkload(n_pixels=64, reduction=144, n_outputs=32)
+
+
+@pytest.fixture()
+def os_builder():
+    return ScheduleBuilder(AcceleratorConfig(dataflow=Dataflow.OUTPUT_STATIONARY))
+
+
+@pytest.fixture()
+def ws_builder():
+    return ScheduleBuilder(AcceleratorConfig(dataflow=Dataflow.WEIGHT_STATIONARY))
+
+
+class TestWorkload:
+    def test_total_macs(self, workload):
+        assert workload.total_macs == 64 * 144 * 32
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GemmWorkload(0, 1, 1)
+
+
+class TestSchedules:
+    def test_busy_macs_schedule_invariant(self, workload, os_builder, ws_builder):
+        """Both dataflows execute exactly the workload's MACs."""
+        assert os_builder.stats(workload).busy_macs == workload.total_macs
+        assert ws_builder.stats(workload).busy_macs == workload.total_macs
+
+    def test_os_tile_count(self, workload, os_builder):
+        stats = os_builder.stats(workload)
+        assert stats.n_tiles == (64 // 16) * (32 // 4)
+
+    def test_ws_tile_count(self, workload, ws_builder):
+        stats = ws_builder.stats(workload)
+        assert stats.n_tiles == (144 // 16) * (32 // 4)
+
+    def test_utilization_bounded(self, workload, os_builder, ws_builder):
+        for builder in (os_builder, ws_builder):
+            stats = builder.stats(workload)
+            assert 0.0 < stats.utilization <= 1.0
+
+    def test_weight_stationary_minimizes_weight_traffic(self, workload, os_builder, ws_builder):
+        """The defining property of WS (Section II-A)."""
+        assert (
+            ws_builder.stats(workload).weight_reads
+            < os_builder.stats(workload).weight_reads
+        )
+
+    def test_output_stationary_minimizes_psum_traffic(self, workload, os_builder, ws_builder):
+        """The defining property of OS (Section II-A)."""
+        assert (
+            os_builder.stats(workload).psum_accesses
+            <= ws_builder.stats(workload).psum_accesses
+        )
+
+    def test_iter_tiles_cover_workload(self, workload, os_builder):
+        tiles = list(os_builder.iter_tiles(workload))
+        rows = sorted({r for r0, r1, _, _ in tiles for r in range(r0, r1)})
+        cols = sorted({c for _, _, c0, c1 in tiles for c in range(c0, c1)})
+        assert rows == list(range(64))
+        assert cols == list(range(32))
+
+    def test_ws_tiles_index_reduction(self, workload, ws_builder):
+        tiles = list(ws_builder.iter_tiles(workload))
+        max_row = max(r1 for _, r1, _, _ in tiles)
+        assert max_row == workload.reduction
+
+    def test_reordering_throughput_neutral(self, workload, os_builder):
+        """Table I: READ causes no throughput drop."""
+        assert os_builder.reordering_is_throughput_neutral(workload)
+
+    def test_ragged_workload(self, os_builder):
+        stats = os_builder.stats(GemmWorkload(n_pixels=17, reduction=10, n_outputs=5))
+        assert stats.n_tiles == 2 * 2
+
+
+class TestEnergyModel:
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(ConfigurationError):
+            EnergyModel(mac_op_pj=-1)
+
+    def test_layer_energy_components_positive(self, workload):
+        report = AcceleratorCostModel().layer_energy(workload)
+        assert report.compute_pj > 0
+        assert report.rf_pj > 0
+        assert report.buffer_pj > 0
+        assert report.total_pj == pytest.approx(
+            report.compute_pj + report.rf_pj + report.buffer_pj + report.lut_pj
+        )
+
+    def test_lut_overhead_negligible(self, workload):
+        """The paper's headline hardware claim, quantified."""
+        model = AcceleratorCostModel()
+        with_lut = model.layer_energy(workload, with_read_lut=True)
+        without = model.layer_energy(workload, with_read_lut=False)
+        assert with_lut.lut_pj > 0
+        assert with_lut.lut_fraction < 0.02  # < 2 % of layer energy
+        assert with_lut.total_pj == pytest.approx(without.total_pj + with_lut.lut_pj)
+
+    def test_lut_area_fraction_tiny(self):
+        model = AcceleratorCostModel()
+        assert model.lut_area_fraction(1024, buffer_bytes=2 * 2**20) < 1e-3
+
+    def test_speculation_energy_scales_with_error_rate(self, workload):
+        model = AcceleratorCostModel()
+        low = model.speculation_energy(workload, error_rate=1e-5)
+        high = model.speculation_energy(workload, error_rate=1e-3)
+        assert high > low
+
+    def test_speculation_validation(self, workload):
+        model = AcceleratorCostModel()
+        with pytest.raises(ConfigurationError):
+            model.speculation_energy(workload, error_rate=2.0)
+        with pytest.raises(ConfigurationError):
+            model.speculation_energy(workload, error_rate=0.1, replay_cycles=-1)

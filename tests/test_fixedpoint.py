@@ -1,0 +1,109 @@
+"""Unit and property tests for two's-complement fixed-point helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantizationError
+from repro.hw import fixedpoint as fp
+
+
+class TestRanges:
+    def test_signed_min_max_8bit(self):
+        assert fp.signed_min(8) == -128
+        assert fp.signed_max(8) == 127
+
+    def test_signed_min_max_24bit(self):
+        assert fp.signed_min(24) == -(2**23)
+        assert fp.signed_max(24) == 2**23 - 1
+
+    @pytest.mark.parametrize("width", [0, 1, 64, -3])
+    def test_invalid_width_rejected(self, width):
+        with pytest.raises(QuantizationError):
+            fp.signed_min(width)
+
+    def test_fits_vectorized(self):
+        mask = fp.fits([-129, -128, 0, 127, 128], 8)
+        assert mask.tolist() == [False, True, True, True, False]
+
+
+class TestWrap:
+    def test_wrap_identity_in_range(self):
+        vals = np.array([-128, -1, 0, 1, 127])
+        assert np.array_equal(fp.wrap(vals, 8), vals)
+
+    def test_wrap_overflow(self):
+        assert int(fp.wrap(128, 8)) == -128
+        assert int(fp.wrap(-129, 8)) == 127
+        assert int(fp.wrap(2**23, 24)) == -(2**23)
+
+    def test_wrap_matches_modular_arithmetic(self):
+        rng = np.random.default_rng(0)
+        vals = rng.integers(-(2**30), 2**30, size=200)
+        wrapped = fp.wrap(vals, 24)
+        assert np.array_equal(np.mod(wrapped - vals, 2**24), np.zeros(200))
+
+    def test_saturate(self):
+        assert fp.saturate([300, -300, 5], 8).tolist() == [127, -128, 5]
+
+
+class TestFields:
+    def test_to_field_negative(self):
+        assert int(fp.to_field(-4, 24)) == 0xFFFFFC
+
+    def test_to_field_rejects_out_of_range(self):
+        with pytest.raises(QuantizationError):
+            fp.to_field(128, 8)
+
+    def test_from_field_rejects_bad_field(self):
+        with pytest.raises(QuantizationError):
+            fp.from_field(256, 8)
+
+    @given(st.integers(min_value=-(2**23), max_value=2**23 - 1))
+    @settings(max_examples=100)
+    def test_field_roundtrip(self, value):
+        assert int(fp.from_field(fp.to_field(value, 24), 24)) == value
+
+    def test_sign_bit(self):
+        assert int(fp.sign_bit(-1, 24)) == 1
+        assert int(fp.sign_bit(0, 24)) == 0
+        assert int(fp.sign_bit(2**23 - 1, 24)) == 0
+
+
+class TestBitOps:
+    def test_flip_bits_lsb(self):
+        assert int(fp.flip_bits(0, 0, 8)) == 1
+        assert int(fp.flip_bits(1, 0, 8)) == 0
+
+    def test_flip_bits_sign(self):
+        assert int(fp.flip_bits(0, 23, 24)) == -(2**23)
+
+    def test_flip_bits_involution(self):
+        rng = np.random.default_rng(1)
+        vals = rng.integers(-(2**22), 2**22, size=100)
+        pos = rng.integers(0, 24, size=100)
+        twice = fp.flip_bits(fp.flip_bits(vals, pos, 24), pos, 24)
+        assert np.array_equal(twice, vals)
+
+    def test_flip_bits_rejects_bad_position(self):
+        with pytest.raises(QuantizationError):
+            fp.flip_bits(0, 24, 24)
+
+    def test_bit_extraction(self):
+        assert int(fp.bit(0b1010, 1, 8)) == 1
+        assert int(fp.bit(0b1010, 0, 8)) == 0
+
+
+class TestSignificantBits:
+    def test_zero(self):
+        assert int(fp.significant_bits(0)) == 0
+
+    @pytest.mark.parametrize("value,expected", [(1, 1), (2, 2), (3, 2), (255, 8), (-128, 8)])
+    def test_known_values(self, value, expected):
+        assert int(fp.significant_bits(value)) == expected
+
+    @given(st.integers(min_value=-(2**40), max_value=2**40))
+    @settings(max_examples=100)
+    def test_matches_int_bit_length(self, value):
+        assert int(fp.significant_bits(value)) == abs(value).bit_length()

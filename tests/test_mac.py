@@ -1,0 +1,112 @@
+"""Tests for the bit-accurate MAC unit model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, QuantizationError
+from repro.hw.mac import MacConfig, MacUnit
+
+
+class TestMacConfig:
+    def test_defaults_match_paper(self):
+        cfg = MacConfig()
+        assert cfg.act_width == 8
+        assert cfg.weight_width == 8
+        assert cfg.psum_width == 24
+        assert not cfg.act_signed
+
+    def test_act_range_unsigned(self):
+        assert MacConfig().act_range == (0, 255)
+
+    def test_act_range_signed(self):
+        assert MacConfig(act_signed=True).act_range == (-128, 127)
+
+    def test_weight_range(self):
+        assert MacConfig().weight_range == (-128, 127)
+
+    def test_rejects_narrow_psum(self):
+        with pytest.raises(ConfigurationError):
+            MacConfig(psum_width=12)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            MacConfig(act_width=1)
+
+
+class TestMacUnit:
+    def test_paper_example(self):
+        """3 * (-2) + 2 = -4 (the Section III worked example)."""
+        mac = MacUnit(MacConfig(act_signed=True))
+        trace = mac.run(acts=[3, 2], weights=[-2, 1])
+        assert int(trace.final) == -4
+        assert int(trace.sign_flip_count()) == 1
+
+    def test_multiply_validates_ranges(self):
+        mac = MacUnit()
+        with pytest.raises(QuantizationError):
+            mac.multiply([256], [1])
+        with pytest.raises(QuantizationError):
+            mac.multiply([1], [200])
+
+    def test_unsigned_rejects_negative_act(self):
+        with pytest.raises(QuantizationError):
+            MacUnit().run([-1], [1])
+
+    def test_batched_accumulation(self):
+        mac = MacUnit()
+        acts = np.array([[1, 2, 3], [4, 5, 6]])
+        weights = np.array([[1, 1, 1], [2, 2, 2]])
+        trace = mac.run(acts, weights)
+        assert trace.final.tolist() == [6, 30]
+        assert trace.psums.shape == (2, 3)
+
+    def test_broadcasting_weights(self):
+        mac = MacUnit()
+        acts = np.ones((4, 3), dtype=np.int64)
+        weights = np.array([1, 2, 3])
+        trace = mac.run(acts, weights)
+        assert trace.final.tolist() == [6, 6, 6, 6]
+
+    def test_sign_flip_rate(self):
+        mac = MacUnit()
+        trace = mac.run([1, 1], [[1, -5], [1, 1]])
+        assert trace.sign_flip_rate() == pytest.approx(0.25)
+
+    def test_psum_wraps_at_24_bits(self):
+        mac = MacUnit()
+        acts = np.full(300, 255, dtype=np.int64)
+        weights = np.full(300, 127, dtype=np.int64)
+        trace = mac.run(acts, weights)
+        total = 300 * 255 * 127
+        wrapped = ((total + 2**23) % 2**24) - 2**23
+        assert int(trace.final) == wrapped
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=32),
+        st.integers(min_value=-128, max_value=127),
+    )
+    @settings(max_examples=100)
+    def test_final_matches_dot_product(self, acts, weight):
+        mac = MacUnit()
+        weights = [weight] * len(acts)
+        trace = mac.run(acts, weights)
+        exact = sum(a * weight for a in acts)
+        if -(2**23) <= exact < 2**23:
+            assert int(trace.final) == exact
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=2, max_size=16))
+    @settings(max_examples=50)
+    def test_nonnegative_products_never_flip(self, acts):
+        """All-positive weights with ReLU inputs: PSUM never crosses zero."""
+        mac = MacUnit()
+        trace = mac.run(acts, [3] * len(acts))
+        assert int(trace.sign_flip_count()) == 0
+
+    def test_trace_metadata(self):
+        mac = MacUnit()
+        trace = mac.run([7], [9])
+        assert trace.n_cycles == 1
+        assert trace.act_bits.tolist() == [3]
+        assert trace.weight_bits.tolist() == [4]

@@ -1,0 +1,259 @@
+"""Gradient and behaviour tests for the numpy DNN layer system."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError, TrainingError
+from repro.nn import functional as F
+from repro.nn.layers import (
+    BasicBlock,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def numeric_grad(f, x, eps=1e-5):
+    """Central finite differences of a scalar function of an array."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        hi = f()
+        x[idx] = orig - eps
+        lo = f()
+        x[idx] = orig
+        grad[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_input_gradient(module, x, atol=1e-6):
+    """Backward's input gradient must match finite differences of sum(out)."""
+    out = module.forward(x)
+    grad_in = module.backward(np.ones_like(out))
+
+    def scalar():
+        return float(module.forward(x).sum())
+
+    expected = numeric_grad(scalar, x)
+    np.testing.assert_allclose(grad_in, expected, atol=atol, rtol=1e-4)
+
+
+def check_param_gradient(module, x, param, atol=1e-6):
+    """Backward's parameter gradient must match finite differences."""
+    module.forward(x)
+    param.zero_grad()
+    out = module.forward(x)
+    module.backward(np.ones_like(out))
+    analytic = param.grad.copy()
+
+    def scalar():
+        return float(module.forward(x).sum())
+
+    expected = numeric_grad(scalar, param.data)
+    np.testing.assert_allclose(analytic, expected, atol=atol, rtol=1e-4)
+
+
+class TestConv2d:
+    def test_forward_matches_reference(self):
+        x = RNG.normal(size=(2, 3, 6, 6))
+        conv = Conv2d(3, 4, 3, padding=1, rng=RNG)
+        out = conv.forward(x)
+        assert out.shape == (2, 4, 6, 6)
+        # spot check: output (1, 1) sees original rows/cols 0:3 (pad 1)
+        patch = x[0, :, 0:3, 0:3]
+        expected = (patch * conv.weight.data[1]).sum() + conv.bias.data[1]
+        assert out[0, 1, 1, 1] == pytest.approx(expected)
+
+    def test_input_gradient(self):
+        conv = Conv2d(2, 3, 3, stride=2, padding=1, rng=RNG)
+        check_input_gradient(conv, RNG.normal(size=(2, 2, 5, 5)))
+
+    def test_weight_gradient(self):
+        conv = Conv2d(2, 2, 3, padding=1, rng=RNG)
+        x = RNG.normal(size=(1, 2, 4, 4))
+        check_param_gradient(conv, x, conv.weight)
+
+    def test_bias_gradient(self):
+        conv = Conv2d(2, 2, 1, rng=RNG)
+        x = RNG.normal(size=(1, 2, 3, 3))
+        check_param_gradient(conv, x, conv.bias)
+
+    def test_backward_before_forward_rejected(self):
+        with pytest.raises(TrainingError):
+            Conv2d(1, 1, 1).backward(np.ones((1, 1, 1, 1)))
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ConfigurationError):
+            Conv2d(0, 1, 1)
+
+
+class TestLinear:
+    def test_gradients(self):
+        lin = Linear(5, 3, rng=RNG)
+        x = RNG.normal(size=(4, 5))
+        check_input_gradient(lin, x)
+        check_param_gradient(lin, x, lin.weight)
+        check_param_gradient(lin, x, lin.bias)
+
+    def test_rejects_3d_input(self):
+        with pytest.raises(ShapeError):
+            Linear(4, 2).forward(np.ones((2, 2, 2)))
+
+
+class TestActivationsAndPooling:
+    def test_relu_gradient(self):
+        check_input_gradient(ReLU(), RNG.normal(size=(3, 4)) + 0.1)
+
+    def test_relu_output_nonnegative(self):
+        out = ReLU().forward(RNG.normal(size=(10, 10)))
+        assert np.all(out >= 0)
+
+    def test_maxpool_forward(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = MaxPool2d(2).forward(x)
+        assert out.reshape(-1).tolist() == [5, 7, 13, 15]
+
+    def test_maxpool_gradient(self):
+        # offset values so the argmax is unique almost surely
+        x = RNG.normal(size=(2, 2, 4, 4)) + np.arange(16).reshape(1, 1, 4, 4) * 0.01
+        check_input_gradient(MaxPool2d(2), x)
+
+    def test_global_avgpool_gradient(self):
+        check_input_gradient(GlobalAvgPool(), RNG.normal(size=(2, 3, 4, 4)))
+
+    def test_flatten_roundtrip(self):
+        flat = Flatten()
+        x = RNG.normal(size=(2, 3, 2, 2))
+        out = flat.forward(x)
+        assert out.shape == (2, 12)
+        assert np.array_equal(flat.backward(out), x)
+
+
+class TestBatchNorm:
+    def test_normalizes_in_training(self):
+        bn = BatchNorm2d(4)
+        x = RNG.normal(loc=3.0, scale=2.0, size=(8, 4, 5, 5))
+        out = bn.forward(x)
+        assert out.mean(axis=(0, 2, 3)) == pytest.approx(np.zeros(4), abs=1e-10)
+        assert out.var(axis=(0, 2, 3)) == pytest.approx(np.ones(4), abs=1e-3)
+
+    def test_running_stats_updated(self):
+        bn = BatchNorm2d(2, momentum=1.0)
+        x = RNG.normal(loc=5.0, size=(16, 2, 3, 3))
+        bn.forward(x)
+        assert bn.running_mean == pytest.approx(x.mean(axis=(0, 2, 3)))
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm2d(2, momentum=1.0)
+        x = RNG.normal(size=(8, 2, 3, 3))
+        bn.forward(x)
+        bn.training = False
+        y = RNG.normal(size=(4, 2, 3, 3))
+        out = bn.forward(y)
+        inv = 1 / np.sqrt(bn.running_var + bn.eps)
+        expected = (y - bn.running_mean[None, :, None, None]) * inv[None, :, None, None]
+        assert out == pytest.approx(expected)
+
+    def test_input_gradient(self):
+        bn = BatchNorm2d(3)
+        check_input_gradient(bn, RNG.normal(size=(4, 3, 2, 2)), atol=1e-5)
+
+    def test_param_gradients(self):
+        bn = BatchNorm2d(2)
+        x = RNG.normal(size=(4, 2, 3, 3))
+        check_param_gradient(bn, x, bn.gamma, atol=1e-5)
+        check_param_gradient(bn, x, bn.beta, atol=1e-5)
+
+
+class TestComposite:
+    def test_sequential_chains(self):
+        seq = Sequential([Conv2d(1, 2, 3, padding=1, rng=RNG), ReLU(), MaxPool2d(2)])
+        out = seq.forward(RNG.normal(size=(1, 1, 4, 4)))
+        assert out.shape == (1, 2, 2, 2)
+        assert len(seq) == 3
+
+    def test_sequential_gradient(self):
+        seq = Sequential([Linear(4, 4, rng=RNG), ReLU(), Linear(4, 2, rng=RNG)])
+        check_input_gradient(seq, RNG.normal(size=(3, 4)) + 0.05)
+
+    def test_basic_block_identity_shortcut(self):
+        block = BasicBlock(4, 4, stride=1, rng=RNG)
+        assert block.shortcut_conv is None
+        out = block.forward(RNG.normal(size=(2, 4, 6, 6)))
+        assert out.shape == (2, 4, 6, 6)
+
+    def test_basic_block_projection_shortcut(self):
+        block = BasicBlock(4, 8, stride=2, rng=RNG)
+        assert block.shortcut_conv is not None
+        out = block.forward(RNG.normal(size=(2, 4, 6, 6)))
+        assert out.shape == (2, 8, 3, 3)
+
+    def test_basic_block_gradient(self):
+        block = BasicBlock(2, 2, stride=1, rng=RNG)
+        block.train(True)
+        check_input_gradient(block, RNG.normal(size=(2, 2, 4, 4)), atol=1e-5)
+
+    def test_basic_block_projection_gradient(self):
+        block = BasicBlock(2, 4, stride=2, rng=RNG)
+        check_input_gradient(block, RNG.normal(size=(2, 2, 4, 4)), atol=1e-5)
+
+    def test_parameter_traversal(self):
+        block = BasicBlock(2, 4, stride=2, rng=RNG)
+        names = [p.name for p in block.parameters()]
+        assert any("conv1" in n for n in names)
+        assert any("shortcut" in n for n in names)
+
+    def test_train_eval_switch(self):
+        block = BasicBlock(2, 2, rng=RNG)
+        block.eval()
+        assert not block.bn1.training
+        block.train()
+        assert block.bn1.training
+
+
+class TestFunctionalLosses:
+    def test_softmax_rows_sum_to_one(self):
+        probs = F.softmax(RNG.normal(size=(5, 7)))
+        assert probs.sum(axis=1) == pytest.approx(np.ones(5))
+
+    def test_cross_entropy_gradient(self):
+        logits = RNG.normal(size=(4, 3))
+        labels = np.array([0, 2, 1, 1])
+        _, grad = F.cross_entropy(logits, labels)
+
+        def scalar(logit_array):
+            loss, _ = F.cross_entropy(logit_array, labels)
+            return loss
+
+        expected = numeric_grad(lambda: scalar(logits), logits)
+        np.testing.assert_allclose(grad, expected, atol=1e-6)
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, _ = F.cross_entropy(logits, np.array([0, 1]))
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_accuracy_top1(self):
+        logits = np.array([[1.0, 2.0], [3.0, 0.0]])
+        assert F.accuracy(logits, np.array([1, 0])) == 1.0
+        assert F.accuracy(logits, np.array([0, 0])) == 0.5
+
+    def test_accuracy_topk(self):
+        logits = np.array([[3.0, 2.0, 1.0, 0.0]])
+        assert F.accuracy(logits, np.array([2]), topk=3) == 1.0
+        assert F.accuracy(logits, np.array([3]), topk=3) == 0.0
+
+    def test_cross_entropy_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            F.cross_entropy(np.ones(3), np.array([0]))

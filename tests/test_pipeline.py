@@ -1,0 +1,172 @@
+"""Tests for layer/network mapping plans and the LUT cost model."""
+
+import numpy as np
+import pytest
+
+from repro.core.lut import LutCostModel, address_bits
+from repro.core.pipeline import (
+    LayerMappingPlan,
+    MappingStrategy,
+    plan_layer,
+    plan_network,
+)
+from repro.errors import ConfigurationError, ShapeError
+
+
+@pytest.fixture()
+def weights():
+    rng = np.random.default_rng(0)
+    return rng.integers(-100, 100, size=(32, 16))
+
+
+class TestMappingStrategy:
+    def test_from_name(self):
+        assert MappingStrategy.from_name("baseline") is MappingStrategy.BASELINE
+        assert MappingStrategy.from_name("REORDER") is MappingStrategy.REORDER
+        assert (
+            MappingStrategy.from_name("cluster_then_reorder")
+            is MappingStrategy.CLUSTER_THEN_REORDER
+        )
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MappingStrategy.from_name("nope")
+
+
+class TestPlanLayer:
+    def test_baseline_identity_orders(self, weights):
+        plan = plan_layer(weights, group_size=4, strategy=MappingStrategy.BASELINE)
+        for group in plan.groups:
+            assert np.array_equal(group.order, np.arange(32))
+
+    def test_group_partition(self, weights):
+        plan = plan_layer(weights, group_size=4, strategy=MappingStrategy.REORDER)
+        cols = np.concatenate([g.columns for g in plan.groups])
+        assert sorted(cols.tolist()) == list(range(16))
+
+    def test_cluster_strategy_records_clustering(self, weights):
+        plan = plan_layer(weights, 4, MappingStrategy.CLUSTER_THEN_REORDER)
+        assert plan.clustering is not None
+        assert plan.output_channel_permutation().shape == (16,)
+
+    def test_cluster_falls_back_when_indivisible(self):
+        rng = np.random.default_rng(1)
+        w = rng.integers(-5, 5, size=(8, 10))
+        plan = plan_layer(w, 4, MappingStrategy.CLUSTER_THEN_REORDER)
+        assert plan.clustering is None  # contiguous fallback
+        assert [g.columns.size for g in plan.groups] == [4, 4, 2]
+
+    def test_strategy_accepts_string(self, weights):
+        plan = plan_layer(weights, 4, "reorder")
+        assert plan.strategy is MappingStrategy.REORDER
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            plan_layer(np.ones(4), 2)
+
+    def test_apply_to_activations(self, weights):
+        plan = plan_layer(weights, 4, MappingStrategy.REORDER)
+        acts = np.arange(2 * 32).reshape(2, 32)
+        reordered = plan.apply_to_activations(acts, group=0)
+        assert np.array_equal(reordered, acts[:, plan.groups[0].order])
+
+    def test_apply_to_activations_validates_shape(self, weights):
+        plan = plan_layer(weights, 4)
+        with pytest.raises(ShapeError):
+            plan.apply_to_activations(np.ones((2, 31)), group=0)
+
+    def test_describe(self, weights):
+        assert "cluster_then_reorder" in plan_layer(weights, 4).describe()
+
+    def test_gemm_result_invariant_under_plan(self, weights):
+        """Compute correctness: every strategy yields the exact GEMM."""
+        rng = np.random.default_rng(2)
+        acts = rng.integers(0, 256, size=(6, 32))
+        golden = acts @ weights
+        for strategy in MappingStrategy:
+            plan = plan_layer(weights, 4, strategy)
+            out = np.zeros_like(golden)
+            for g, group in enumerate(plan.groups):
+                reordered_acts = plan.apply_to_activations(acts, g)
+                out[:, group.columns] = reordered_acts @ group.weights
+            assert np.array_equal(out, golden)
+
+
+class TestPlanNetwork:
+    def _weights(self, shapes, seed=0):
+        rng = np.random.default_rng(seed)
+        return {
+            f"conv{i}": rng.integers(-50, 50, size=shape)
+            for i, shape in enumerate(shapes)
+        }
+
+    def test_plans_every_layer(self):
+        layer_weights = self._weights([(8, 8), (8, 8), (8, 8)])
+        net = plan_network(layer_weights, group_size=4)
+        assert set(net.layers) == {"conv0", "conv1", "conv2"}
+
+    def test_propagation_permutes_next_layer_rows(self):
+        layer_weights = self._weights([(8, 8), (8, 8)])
+        net = plan_network(layer_weights, group_size=4, strategy="cluster_then_reorder")
+        perm0 = net.layers["conv0"].output_channel_permutation()
+        assert np.array_equal(net.incoming_permutations["conv1"], perm0)
+
+    def test_propagation_respects_kernel_area(self):
+        layer_weights = {
+            "conv0": np.random.default_rng(0).integers(-5, 5, size=(3, 8)),
+            "conv1": np.random.default_rng(1).integers(-5, 5, size=(8 * 9, 8)),
+        }
+        net = plan_network(
+            layer_weights, group_size=4, kernel_areas={"conv0": 1, "conv1": 9}
+        )
+        assert net.layers["conv1"].n_input_channels == 72
+
+    def test_propagation_disabled(self):
+        layer_weights = self._weights([(8, 8), (8, 8)])
+        net = plan_network(layer_weights, group_size=4, propagate=False)
+        assert np.array_equal(net.incoming_permutations["conv1"], np.arange(8))
+
+    def test_rejects_bad_kernel_area(self):
+        layer_weights = self._weights([(8, 8)])
+        with pytest.raises(ConfigurationError):
+            plan_network(layer_weights, group_size=4, kernel_areas={"conv0": 3})
+
+    def test_total_lut_bytes_positive(self):
+        net = plan_network(self._weights([(8, 8), (8, 8)]), group_size=4)
+        assert net.total_lut_bytes() > 0
+
+
+class TestLutCostModel:
+    def test_address_bits(self):
+        assert address_bits(1) == 1
+        assert address_bits(2) == 1
+        assert address_bits(1024) == 10
+        assert address_bits(1025) == 11
+
+    def test_address_bits_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            address_bits(0)
+
+    def test_paper_claim_under_2kb(self):
+        """Paper Section IV-D: 1024 channels -> LUT under 2 KB."""
+        model = LutCostModel()
+        assert model.lut_bytes(1024) < 2048
+
+    def test_unshared_scales_with_clusters(self):
+        model = LutCostModel()
+        assert model.lut_bytes(64, n_clusters=4, shared=False) == pytest.approx(
+            4 * model.lut_bytes(64)
+        )
+
+    def test_relative_overhead_negligible(self):
+        """Against a 2 MB buffer the LUT is < 0.1 % (the paper's point)."""
+        model = LutCostModel()
+        overhead = model.relative_overhead(1024, buffer_bytes=2 * 2**20)
+        assert overhead < 1e-3
+
+    def test_relative_overhead_validation(self):
+        with pytest.raises(ConfigurationError):
+            LutCostModel().relative_overhead(16, buffer_bytes=0)
+
+    def test_access_energy_positive(self):
+        assert LutCostModel().access_energy_pj(128) > 0

@@ -1,0 +1,163 @@
+"""Tests for batch-norm folding, int8 quantization and integer inference."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.nn.datasets import DatasetSpec, SyntheticImageDataset
+from repro.nn.layers import BatchNorm2d, Conv2d
+from repro.nn.models import build_model
+from repro.nn.quantize import (
+    QuantizedNetwork,
+    fold_batchnorm,
+    quantize_weights,
+)
+
+RNG = np.random.default_rng(0)
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    """A briefly-trained model + data (module-scoped: training is slow)."""
+    ds = SyntheticImageDataset(DatasetSpec(name="t", n_classes=4, image_size=16))
+    x, y = ds.sample(128, stream_seed=0)
+    model = build_model("resnet18", n_classes=4, width=0.0625, seed=0)
+    from repro.nn.training import Trainer
+
+    Trainer(model, lr=0.03, batch_size=32, seed=0).fit(x, y, epochs=3)
+    return model, x, y
+
+
+class TestFoldBatchnorm:
+    def test_fold_equivalence(self):
+        """conv' must equal bn(conv(.)) with running statistics."""
+        conv = Conv2d(3, 5, 3, padding=1, rng=RNG, name="c")
+        bn = BatchNorm2d(5, name="b")
+        # give the BN non-trivial statistics
+        bn.running_mean[...] = RNG.normal(size=5)
+        bn.running_var[...] = RNG.uniform(0.5, 2.0, size=5)
+        bn.gamma.data[...] = RNG.uniform(0.5, 1.5, size=5)
+        bn.beta.data[...] = RNG.normal(size=5)
+        bn.training = False
+
+        x = RNG.normal(size=(2, 3, 6, 6))
+        expected = bn.forward(conv.forward(x))
+
+        w_eff, b_eff = fold_batchnorm(conv, bn)
+        folded = Conv2d(3, 5, 3, padding=1, rng=RNG)
+        folded.weight.data[...] = w_eff
+        folded.bias.data[...] = b_eff
+        np.testing.assert_allclose(folded.forward(x), expected, atol=1e-10)
+
+    def test_fold_without_bn_is_identity(self):
+        conv = Conv2d(2, 2, 1, rng=RNG)
+        w, b = fold_batchnorm(conv, None)
+        assert np.array_equal(w, conv.weight.data)
+        assert np.array_equal(b, conv.bias.data)
+
+
+class TestQuantizeWeights:
+    def test_range(self):
+        w_q, scale = quantize_weights(RNG.normal(size=(4, 4)))
+        assert w_q.min() >= -128 and w_q.max() <= 127
+
+    def test_roundtrip_error_bounded(self):
+        w = RNG.normal(size=(64,))
+        w_q, scale = quantize_weights(w)
+        assert np.abs(w_q * scale - w).max() <= scale / 2 + 1e-12
+
+    def test_zero_weights(self):
+        w_q, scale = quantize_weights(np.zeros((3, 3)))
+        assert np.all(w_q == 0) and scale == 1.0
+
+    def test_max_magnitude_maps_to_qmax(self):
+        w = np.array([0.5, -1.0])
+        w_q, scale = quantize_weights(w)
+        assert int(np.abs(w_q).max()) in (127, 128)
+
+
+class TestQuantizedNetwork:
+    def test_requires_calibration(self, trained_setup):
+        model, x, _ = trained_setup
+        qnet = QuantizedNetwork(model)
+        with pytest.raises(QuantizationError):
+            qnet.forward(x[:2])
+
+    def test_quantized_close_to_float(self, trained_setup):
+        model, x, y = trained_setup
+        qnet = QuantizedNetwork(model)
+        qnet.calibrate(x[:32])
+        model.eval()
+        float_logits = model.forward(x[:16])
+        quant_logits = qnet.forward(x[:16])
+        float_top = float_logits.argmax(axis=1)
+        quant_top = quant_logits.argmax(axis=1)
+        assert (float_top == quant_top).mean() >= 0.8
+
+    def test_qconv_count_matches_model(self, trained_setup):
+        model, x, _ = trained_setup
+        qnet = QuantizedNetwork(model)
+        assert len(qnet.qconvs()) == len(model.conv_layers())
+
+    def test_lowered_weight_matrix_shape(self, trained_setup):
+        model, x, _ = trained_setup
+        qnet = QuantizedNetwork(model)
+        qc = qnet.qconvs()[1]
+        k, c, fy, fx = qc.weight_q.shape
+        assert qc.lowered_weight_matrix().shape == (c * fy * fx, k)
+        assert qc.n_macs_per_output == c * fy * fx
+
+    def test_recording_captures_streams(self, trained_setup):
+        model, x, _ = trained_setup
+        qnet = QuantizedNetwork(model)
+        qnet.calibrate(x[:16])
+        qnet.set_recording(True)
+        qnet.forward(x[:2])
+        for qc in qnet.qconvs():
+            assert qc.recorded_cols is not None
+            assert qc.recorded_cols.shape[1] == qc.n_macs_per_output
+            assert qc.recorded_cols.min() >= 0  # ReLU inputs are non-negative
+            assert qc.recorded_cols.max() <= 255
+        qnet.set_recording(False)
+        assert qnet.qconvs()[0].recorded_cols is None
+
+    def test_injector_applied_and_cleared(self, trained_setup):
+        model, x, y = trained_setup
+        qnet = QuantizedNetwork(model)
+        qnet.calibrate(x[:16])
+        calls = []
+
+        def injector(acc, layer):
+            calls.append(layer.name)
+            return acc
+
+        qnet.evaluate(x[:4], y[:4], injector=injector)
+        assert len(calls) >= len(qnet.qconvs())
+        assert all(qc.injector is None for qc in qnet.qconvs(include_shortcuts=True))
+
+    def test_injector_changes_output(self, trained_setup):
+        model, x, _ = trained_setup
+        qnet = QuantizedNetwork(model)
+        qnet.calibrate(x[:16])
+        clean = qnet.forward(x[:2])
+
+        def nuke(acc, layer):
+            return np.zeros_like(acc)
+
+        qnet.set_injector(nuke)
+        corrupted = qnet.forward(x[:2])
+        qnet.set_injector(None)
+        assert not np.allclose(clean, corrupted)
+
+    def test_evaluate_accuracy_range(self, trained_setup):
+        model, x, y = trained_setup
+        qnet = QuantizedNetwork(model)
+        qnet.calibrate(x[:16])
+        acc = qnet.evaluate(x[:32], y[:32])
+        assert 0.0 <= acc <= 1.0
+
+    def test_uncalibrated_layer_rejected(self, trained_setup):
+        model, x, _ = trained_setup
+        qnet = QuantizedNetwork(model)
+        with pytest.raises(QuantizationError):
+            qnet.qconvs()[0].quantize_input(x[:1])

@@ -1,0 +1,91 @@
+"""Tests for the Razor timing-speculation overlay."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.mac import MacUnit
+from repro.hw.razor import RazorConfig, TimingSpeculationModel
+from repro.hw.variations import AGING_VT_5, IDEAL, NbtiAgingModel, PvtaCondition, VoltageTemperatureModel
+
+
+@pytest.fixture(scope="module")
+def trace():
+    rng = np.random.default_rng(0)
+    acts = rng.integers(0, 256, size=(32, 96))
+    weights = rng.integers(-128, 128, size=(32, 96))
+    return MacUnit().run(acts, weights, validate=False)
+
+
+class TestRazorConfig:
+    def test_defaults(self):
+        cfg = RazorConfig()
+        assert cfg.replay_cycles == 1
+        assert cfg.detection_coverage == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RazorConfig(replay_cycles=-1)
+        with pytest.raises(ConfigurationError):
+            RazorConfig(detection_coverage=1.5)
+        with pytest.raises(ConfigurationError):
+            RazorConfig(throughput_budget=0.0)
+
+
+class TestSpeculation:
+    def test_expected_errors_match_dta(self, trace):
+        model = TimingSpeculationModel()
+        outcome = model.evaluate_trace(trace, AGING_VT_5)
+        probs = model.dta.error_probabilities(trace, AGING_VT_5)
+        assert outcome.expected_errors == pytest.approx(float(probs.sum()))
+        assert outcome.n_cycles == probs.size
+
+    def test_replays_scale_with_penalty(self, trace):
+        one = TimingSpeculationModel(RazorConfig(replay_cycles=1))
+        three = TimingSpeculationModel(RazorConfig(replay_cycles=3))
+        o1 = one.evaluate_trace(trace, AGING_VT_5)
+        o3 = three.evaluate_trace(trace, AGING_VT_5)
+        assert o3.expected_replays == pytest.approx(3 * o1.expected_replays)
+        assert o3.slowdown == pytest.approx(3 * o1.slowdown)
+
+    def test_partial_coverage_leaves_silent_errors(self, trace):
+        model = TimingSpeculationModel(RazorConfig(detection_coverage=0.8))
+        outcome = model.evaluate_trace(trace, AGING_VT_5)
+        assert outcome.silent_errors == pytest.approx(0.2 * outcome.expected_errors)
+
+    def test_ideal_corner_no_replays(self, trace):
+        outcome = TimingSpeculationModel().evaluate_trace(trace, IDEAL)
+        assert outcome.expected_replays < 1e-9
+        assert outcome.detect_energy_pj > 0  # Razor monitoring is always on
+
+    def test_evaluate_ter_consistent(self, trace):
+        model = TimingSpeculationModel()
+        from_trace = model.evaluate_trace(trace, AGING_VT_5)
+        from_ter = model.evaluate_ter(
+            from_trace.expected_errors / from_trace.n_cycles, from_trace.n_cycles
+        )
+        assert from_ter.expected_replays == pytest.approx(from_trace.expected_replays)
+
+    def test_evaluate_ter_validation(self):
+        model = TimingSpeculationModel()
+        with pytest.raises(ConfigurationError):
+            model.evaluate_ter(2.0, 10)
+        with pytest.raises(ConfigurationError):
+            model.evaluate_ter(0.1, 0)
+
+    def test_max_derate_within_budget_monotone(self, trace):
+        """A looser budget can only extend the tolerable derate."""
+
+        def corner_at(x: float) -> PvtaCondition:
+            return PvtaCondition(
+                f"uv{x}", vt_percent=x, aging_years=10.0,
+                vt_model=VoltageTemperatureModel(mean_per_percent=0.012),
+                aging_model=NbtiAgingModel(),
+            )
+
+        derates = np.arange(0.0, 8.0, 0.5)
+        tight = TimingSpeculationModel(RazorConfig(throughput_budget=1e-6))
+        loose = TimingSpeculationModel(RazorConfig(throughput_budget=1e-2))
+        assert loose.max_derate_within_budget(
+            trace, corner_at, derates
+        ) >= tight.max_derate_within_budget(trace, corner_at, derates)

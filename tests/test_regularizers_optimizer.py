@@ -1,0 +1,195 @@
+"""Tests for reliability-aware training and the deployment optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.lut import LutCostModel
+from repro.core.optimizer import optimize_deployment
+from repro.core.pipeline import MappingStrategy
+from repro.errors import ConfigurationError
+from repro.nn.datasets import DatasetSpec, SyntheticImageDataset
+from repro.nn.layers import Parameter
+from repro.nn.models import build_model
+from repro.nn.regularizers import (
+    CompositeRegularizer,
+    NegativeWeightPenalty,
+    SignCoherencePenalty,
+    read_friendly_regularizer,
+)
+from repro.nn.training import Trainer
+
+
+def _weight_param(data, name="conv.weight"):
+    return Parameter(np.asarray(data, dtype=np.float64), name=name)
+
+
+class TestNegativeWeightPenalty:
+    def test_zero_for_nonnegative(self):
+        reg = NegativeWeightPenalty(1.0)
+        value, grad = reg.penalty_and_grad(_weight_param([[1.0, 2.0]]))
+        assert value == 0.0
+        assert np.all(grad == 0.0)
+
+    def test_penalizes_negatives_linearly(self):
+        reg = NegativeWeightPenalty(1.0)
+        value, grad = reg.penalty_and_grad(_weight_param([[-2.0, 2.0]]))
+        assert value == pytest.approx(2.0)  # sum(relu(-w))
+        assert grad[0, 0] == pytest.approx(-1.0) and grad[0, 1] == 0.0
+
+    def test_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(0)
+        param = _weight_param(rng.normal(size=(4, 6)))
+        reg = NegativeWeightPenalty(0.7)
+        _, grad = reg.penalty_and_grad(param)
+        eps = 1e-6
+        for idx in [(0, 0), (1, 2), (3, 5)]:
+            orig = param.data[idx]
+            param.data[idx] = orig + eps
+            hi, _ = reg.penalty_and_grad(param)
+            param.data[idx] = orig - eps
+            lo, _ = reg.penalty_and_grad(param)
+            param.data[idx] = orig
+            assert grad[idx] == pytest.approx((hi - lo) / (2 * eps), abs=1e-5)
+
+    def test_skips_biases_and_bn(self):
+        reg = NegativeWeightPenalty(1.0)
+        assert not reg.applies_to(Parameter(np.ones(3), name="conv.bias"))
+        assert not reg.applies_to(Parameter(np.ones(3), name="bn.gamma"))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NegativeWeightPenalty(-1.0)
+
+
+class TestSignCoherencePenalty:
+    def test_zero_when_channels_agree(self):
+        w = np.ones((4, 2, 3, 3))
+        value, grad = SignCoherencePenalty(1.0).penalty_and_grad(_weight_param(w))
+        assert value == pytest.approx(0.0, abs=1e-12)
+        assert np.allclose(grad, 0.0)
+
+    def test_positive_when_channels_disagree(self):
+        w = np.ones((2, 1, 2, 2))
+        w[1] = -1.0
+        value, _ = SignCoherencePenalty(1.0).penalty_and_grad(_weight_param(w))
+        assert value > 0.1
+
+    def test_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(1)
+        param = _weight_param(rng.normal(scale=0.1, size=(3, 2, 2, 2)))
+        reg = SignCoherencePenalty(0.5, tau=0.2)
+        _, grad = reg.penalty_and_grad(param)
+        eps = 1e-6
+        for idx in [(0, 0, 0, 0), (2, 1, 1, 1)]:
+            orig = param.data[idx]
+            param.data[idx] = orig + eps
+            hi, _ = reg.penalty_and_grad(param)
+            param.data[idx] = orig - eps
+            lo, _ = reg.penalty_and_grad(param)
+            param.data[idx] = orig
+            assert grad[idx] == pytest.approx((hi - lo) / (2 * eps), rel=1e-3, abs=1e-7)
+
+    def test_only_conv_weights(self):
+        reg = SignCoherencePenalty(1.0)
+        assert not reg.applies_to(_weight_param(np.ones((4, 4)), name="fc.weight"))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SignCoherencePenalty(tau=0.0)
+
+
+class TestRegularizedTraining:
+    def test_regularizer_shifts_sign_distribution(self):
+        """Training with the penalty must raise the non-negative fraction."""
+        ds = SyntheticImageDataset(DatasetSpec(name="t", n_classes=3, image_size=16))
+        x, y = ds.sample(96, stream_seed=0)
+
+        fractions = {}
+        for label, reg in (("plain", None), ("read", NegativeWeightPenalty(2e-3))):
+            model = build_model("resnet18", n_classes=3, width=0.0625, seed=0)
+            Trainer(model, lr=0.02, batch_size=32, seed=0, regularizer=reg).fit(
+                x, y, epochs=2
+            )
+            weights = np.concatenate(
+                [info.weight.reshape(-1) for info in model.conv_layers()]
+            )
+            fractions[label] = float((weights >= 0).mean())
+        assert fractions["read"] > fractions["plain"]
+
+    def test_composite_applies_all_parts(self):
+        param = _weight_param(-np.ones((2, 1, 2, 2)))
+        reg = CompositeRegularizer([NegativeWeightPenalty(1.0), SignCoherencePenalty(1.0)])
+        total = reg.apply([param])
+        assert total > 0
+        assert np.any(param.grad != 0)
+
+    def test_factory(self):
+        reg = read_friendly_regularizer()
+        assert len(reg.parts) == 2
+
+    def test_composite_validation(self):
+        with pytest.raises(ConfigurationError):
+            CompositeRegularizer([])
+
+
+class TestDeploymentOptimizer:
+    @pytest.fixture()
+    def tables(self):
+        layer_ters = {
+            "a": {"baseline": 1e-4, "reorder": 2e-5, "cluster_then_reorder": 1e-5},
+            "b": {"baseline": 5e-4, "reorder": 1e-4, "cluster_then_reorder": 5e-5},
+            "c": {"baseline": 1e-6, "reorder": 8e-7, "cluster_then_reorder": 7e-7},
+        }
+        n_macs = {"a": 128, "b": 256, "c": 512}
+        n_outputs = {"a": 4096, "b": 2048, "c": 1024}
+        return layer_ters, n_macs, n_outputs
+
+    def test_unlimited_budget_picks_best_everywhere(self, tables):
+        layer_ters, n_macs, n_outputs = tables
+        plan = optimize_deployment(layer_ters, n_macs, n_outputs, lut_budget_bytes=1e9)
+        for choice in plan.choices:
+            assert choice.strategy is MappingStrategy.CLUSTER_THEN_REORDER
+        assert plan.exposure_reduction > 1.0
+
+    def test_zero_budget_is_all_baseline(self, tables):
+        layer_ters, n_macs, n_outputs = tables
+        plan = optimize_deployment(layer_ters, n_macs, n_outputs, lut_budget_bytes=0.0)
+        for choice in plan.choices:
+            assert choice.strategy is MappingStrategy.BASELINE
+        assert plan.total_lut_bytes == 0.0
+        assert plan.total_exposure == pytest.approx(plan.baseline_exposure)
+
+    def test_tight_budget_prioritizes_best_rate(self, tables):
+        layer_ters, n_macs, n_outputs = tables
+        lut = LutCostModel()
+        one_layer_budget = lut.lut_bytes(256)  # enough for layer b only
+        plan = optimize_deployment(
+            layer_ters, n_macs, n_outputs, lut_budget_bytes=one_layer_budget
+        )
+        upgraded = [c.layer for c in plan.choices if c.strategy is not MappingStrategy.BASELINE]
+        assert upgraded == ["b"]  # largest exposure gain per byte
+        assert plan.total_lut_bytes <= one_layer_budget
+
+    def test_budget_never_exceeded(self, tables):
+        layer_ters, n_macs, n_outputs = tables
+        for budget in (0.0, 100.0, 200.0, 400.0, 1e6):
+            plan = optimize_deployment(layer_ters, n_macs, n_outputs, budget)
+            assert plan.total_lut_bytes <= budget + 1e-9
+
+    def test_exposure_monotone_in_budget(self, tables):
+        layer_ters, n_macs, n_outputs = tables
+        exposures = [
+            optimize_deployment(layer_ters, n_macs, n_outputs, b).total_exposure
+            for b in (0.0, 200.0, 400.0, 1e6)
+        ]
+        assert exposures == sorted(exposures, reverse=True)
+
+    def test_validation(self, tables):
+        layer_ters, n_macs, n_outputs = tables
+        with pytest.raises(ConfigurationError):
+            optimize_deployment(layer_ters, n_macs, n_outputs, -1.0)
+        with pytest.raises(ConfigurationError):
+            optimize_deployment({"a": {"reorder": 1e-5}}, n_macs, n_outputs, 0.0)
+        plan = optimize_deployment(layer_ters, n_macs, n_outputs, 0.0)
+        with pytest.raises(ConfigurationError):
+            plan.strategy_for("zzz")

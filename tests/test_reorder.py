@@ -1,0 +1,153 @@
+"""Tests for Algorithm 1 (input-channel reordering)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.reorder import (
+    channel_magnitude_metric,
+    channel_sign_metric,
+    nonnegative_ratio_by_quantile,
+    optimal_single_channel_order,
+    reorder_groups,
+    segment_matrix,
+    sort_input_channels,
+    top_fraction_nonnegative_ratio,
+)
+from repro.core.signflip import paper_sign
+from repro.errors import ConfigurationError, ShapeError
+
+weight_matrices = arrays(
+    dtype=np.int64,
+    shape=st.tuples(st.integers(4, 24), st.integers(1, 8)),
+    elements=st.integers(min_value=-128, max_value=127),
+)
+
+
+class TestMetrics:
+    def test_sign_metric_counts_nonnegative(self):
+        w = np.array([[1, -1], [-2, -3], [0, 5]])
+        assert channel_sign_metric(w).tolist() == [1, 0, 2]
+
+    def test_magnitude_metric_sums(self):
+        w = np.array([[1, -1], [-2, -3]])
+        assert channel_magnitude_metric(w).tolist() == [0, -5]
+
+    def test_1d_input_promoted(self):
+        assert channel_sign_metric(np.array([1, -1])).tolist() == [1, 0]
+
+
+class TestSortInputChannels:
+    def test_sign_first_primary_key(self):
+        w = np.array([[-1, -1], [5, 5], [1, -1]])
+        order = sort_input_channels(w, "sign_first")
+        assert order[0] == 1  # two non-negative weights
+        assert order[-1] == 0  # zero non-negative weights
+
+    def test_sign_first_tiebreak_by_magnitude(self):
+        # both channels have one non-negative weight; larger sum first
+        w = np.array([[10, -1], [50, -1]])
+        order = sort_input_channels(w, "sign_first")
+        assert order.tolist() == [1, 0]
+
+    def test_mag_first_primary_key(self):
+        w = np.array([[1, 1], [100, -90]])
+        # sums: 2 vs 10 -> channel 1 first despite fewer non-negatives
+        order = sort_input_channels(w, "mag_first")
+        assert order.tolist() == [1, 0]
+
+    def test_rejects_unknown_criteria(self):
+        with pytest.raises(ConfigurationError):
+            sort_input_channels(np.ones((2, 2)), "magic")
+
+    @given(weight_matrices)
+    @settings(max_examples=100)
+    def test_order_is_permutation(self, w):
+        order = sort_input_channels(w)
+        assert sorted(order.tolist()) == list(range(w.shape[0]))
+
+    @given(weight_matrices)
+    @settings(max_examples=100)
+    def test_sign_metric_nonincreasing(self, w):
+        order = sort_input_channels(w, "sign_first")
+        metric = channel_sign_metric(w)[order]
+        assert np.all(np.diff(metric) <= 0)
+
+    @given(weight_matrices)
+    @settings(max_examples=100)
+    def test_mag_metric_nonincreasing(self, w):
+        order = sort_input_channels(w, "mag_first")
+        metric = channel_magnitude_metric(w)[order]
+        # the scaled sign tie-break may only reorder within < 1 magnitude
+        assert np.all(np.diff(metric) <= 1.0)
+
+
+class TestOptimalSingleChannel:
+    def test_nonnegative_first(self):
+        order = optimal_single_channel_order(np.array([-3.0, 5.0, -1.0, 2.0]))
+        signs = paper_sign(np.array([-3.0, 5.0, -1.0, 2.0])[order])
+        # all 1s then all 0s
+        assert np.all(np.diff(signs) <= 0)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ShapeError):
+            optimal_single_channel_order(np.ones((2, 2)))
+
+
+class TestSegmentMatrix:
+    def test_even_split(self):
+        parts = segment_matrix(np.arange(24).reshape(3, 8), 4)
+        assert [p.shape for p in parts] == [(3, 4), (3, 4)]
+
+    def test_ragged_tail(self):
+        parts = segment_matrix(np.arange(30).reshape(3, 10), 4)
+        assert [p.shape[1] for p in parts] == [4, 4, 2]
+
+    def test_rejects_bad_group(self):
+        with pytest.raises(ConfigurationError):
+            segment_matrix(np.ones((2, 4)), 0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            segment_matrix(np.ones(4), 2)
+
+
+class TestReorderGroups:
+    def test_reordered_weights_consistent(self):
+        rng = np.random.default_rng(0)
+        w = rng.integers(-50, 50, size=(12, 8))
+        results = reorder_groups(w, [[0, 1], [2, 3, 4]])
+        for res in results:
+            assert np.array_equal(res.weights, w[:, res.columns][res.order])
+
+    def test_rejects_empty_group(self):
+        with pytest.raises(ConfigurationError):
+            reorder_groups(np.ones((4, 4)), [[]])
+
+    def test_rejects_out_of_range_columns(self):
+        with pytest.raises(ConfigurationError):
+            reorder_groups(np.ones((4, 4)), [[7]])
+
+
+class TestQuantileProfiles:
+    def test_uniform_profile_for_constant_sign(self):
+        profile = nonnegative_ratio_by_quantile(np.ones((100, 4)), 10)
+        assert np.allclose(profile, 1.0)
+
+    def test_reorder_front_loads_nonnegatives(self):
+        rng = np.random.default_rng(1)
+        w = rng.integers(-100, 100, size=(64, 4))
+        ordered = w[sort_input_channels(w, "sign_first")]
+        profile = nonnegative_ratio_by_quantile(ordered, 8)
+        assert profile[0] >= profile[-1]
+
+    def test_top_fraction(self):
+        w = np.concatenate([np.ones((10, 2)), -np.ones((10, 2))])
+        assert top_fraction_nonnegative_ratio(w, 0.5) == 1.0
+        assert top_fraction_nonnegative_ratio(w, 1.0) == 0.5
+
+    def test_top_fraction_validation(self):
+        with pytest.raises(ConfigurationError):
+            top_fraction_nonnegative_ratio(np.ones((4, 2)), 0.0)

@@ -1,0 +1,139 @@
+"""Tests for layer sensitivity analysis and plan serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core import MappingStrategy, plan_layer, plan_network
+from repro.core.serialize import (
+    network_plan_from_json,
+    network_plan_to_json,
+    plan_from_dict,
+    plan_to_dict,
+)
+from repro.errors import ConfigurationError, ShapeError
+from repro.experiments.common import SCALES, get_bundle
+from repro.faults.sensitivity import analyze_sensitivity, selective_hardening
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return get_bundle("vgg16_cifar10", SCALES["tiny"])
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def report(self, bundle):
+        return analyze_sensitivity(
+            bundle.qnet,
+            bundle.x_test[:48],
+            bundle.y_test[:48],
+            probe_ber=0.05,
+            n_trials=1,
+        )
+
+    def test_all_layers_ranked(self, bundle, report):
+        assert len(report.layers) == len(bundle.qnet.qconvs())
+        drops = [s.drop for s in report.layers]
+        assert drops == sorted(drops, reverse=True)
+
+    def test_most_vulnerable_selects_top(self, report):
+        top2 = report.most_vulnerable(2)
+        assert top2 == [report.layers[0].layer, report.layers[1].layer]
+
+    def test_protection_cost_monotone(self, report):
+        costs = [report.protection_cost(k) for k in range(len(report.layers) + 1)]
+        assert costs[0] == 0.0
+        assert costs[-1] == pytest.approx(1.0)
+        assert costs == sorted(costs)
+
+    def test_probe_ber_validation(self, bundle):
+        with pytest.raises(ConfigurationError):
+            analyze_sensitivity(bundle.qnet, bundle.x_test[:4], bundle.y_test[:4], probe_ber=0.0)
+
+    def test_selective_hardening_zeroes_top_layers(self, report):
+        bers = {s.layer: 0.01 for s in report.layers}
+        hardened = selective_hardening(bers, report, k=3)
+        protected = set(report.most_vulnerable(3))
+        for layer, ber in hardened.items():
+            assert ber == (0.0 if layer in protected else 0.01)
+
+    def test_selective_hardening_validation(self, report):
+        with pytest.raises(ConfigurationError):
+            selective_hardening({}, report, k=-1)
+
+
+class TestPlanSerialization:
+    @pytest.fixture()
+    def weights(self):
+        return np.random.default_rng(0).integers(-80, 80, size=(24, 8))
+
+    def test_layer_roundtrip(self, weights):
+        plan = plan_layer(weights, 4, MappingStrategy.CLUSTER_THEN_REORDER)
+        rebuilt = plan_from_dict(plan_to_dict(plan), weights)
+        assert rebuilt.strategy is plan.strategy
+        assert len(rebuilt.groups) == len(plan.groups)
+        for a, b in zip(plan.groups, rebuilt.groups):
+            assert np.array_equal(a.columns, b.columns)
+            assert np.array_equal(a.order, b.order)
+            assert np.array_equal(a.weights, b.weights)
+
+    def test_rejects_wrong_weights_shape(self, weights):
+        plan = plan_layer(weights, 4)
+        with pytest.raises(ShapeError):
+            plan_from_dict(plan_to_dict(plan), weights[:, :4])
+
+    def test_rejects_tampered_order(self, weights):
+        plan = plan_layer(weights, 4)
+        data = plan_to_dict(plan)
+        data["groups"][0]["order"][0] = data["groups"][0]["order"][1]
+        with pytest.raises(ConfigurationError):
+            plan_from_dict(data, weights)
+
+    def test_rejects_overlapping_groups(self, weights):
+        plan = plan_layer(weights, 4)
+        data = plan_to_dict(plan)
+        data["groups"][1]["columns"] = data["groups"][0]["columns"]
+        with pytest.raises(ConfigurationError):
+            plan_from_dict(data, weights)
+
+    def test_rejects_unknown_version(self, weights):
+        plan = plan_layer(weights, 4)
+        data = plan_to_dict(plan)
+        data["version"] = 99
+        with pytest.raises(ConfigurationError):
+            plan_from_dict(data, weights)
+
+    def test_network_roundtrip_preserves_semantics(self):
+        rng = np.random.default_rng(1)
+        layer_weights = {
+            "l1": rng.integers(-40, 40, size=(16, 8)),
+            "l2": rng.integers(-40, 40, size=(8, 8)),
+        }
+        net = plan_network(layer_weights, group_size=4)
+        text = network_plan_to_json(net)
+
+        # rebuild against the *propagated* weights the plans were made on
+        perm1 = net.layers["l1"].output_channel_permutation()
+        propagated = {
+            "l1": layer_weights["l1"],
+            "l2": layer_weights["l2"][perm1],
+        }
+        rebuilt = network_plan_from_json(text, propagated)
+        assert set(rebuilt.layers) == {"l1", "l2"}
+        assert np.array_equal(rebuilt.incoming_permutations["l2"], perm1)
+        for name in rebuilt.layers:
+            for a, b in zip(net.layers[name].groups, rebuilt.layers[name].groups):
+                assert np.array_equal(a.weights, b.weights)
+
+    def test_network_rejects_layer_mismatch(self):
+        rng = np.random.default_rng(2)
+        net = plan_network({"l1": rng.integers(-5, 5, size=(8, 4))}, group_size=2)
+        text = network_plan_to_json(net)
+        with pytest.raises(ConfigurationError):
+            network_plan_from_json(text, {"other": np.ones((8, 4))})
+
+    def test_json_is_plain_text(self):
+        rng = np.random.default_rng(3)
+        net = plan_network({"l1": rng.integers(-5, 5, size=(8, 4))}, group_size=2)
+        text = network_plan_to_json(net)
+        assert '"version"' in text and "pickle" not in text

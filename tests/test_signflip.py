@@ -1,0 +1,147 @@
+"""Tests for the sign-flip metrics and optimality theory (Section IV-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.signflip import (
+    conv1d_sign_flips,
+    count_sign_flips,
+    is_rise_then_fall,
+    matrix_sign_flips,
+    minimum_sign_flips,
+    paper_sign,
+    prefix_sums,
+    sign_flip_rate,
+)
+from repro.errors import ShapeError
+
+weights_list = st.lists(st.integers(min_value=-128, max_value=127), min_size=1, max_size=24)
+acts_list = st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=24)
+
+
+class TestPaperSign:
+    def test_convention(self):
+        """The paper's sign(.) returns 1 for non-negative inputs."""
+        assert paper_sign([-3, 0, 5]).tolist() == [0, 1, 1]
+
+
+class TestCountSignFlips:
+    def test_paper_fig3_counts(self):
+        """The Fig. 3 example: 4 / 0 / 1 flips in the three orders."""
+        assert conv1d_sign_flips([3, 2, 3, 2], [-1, 7, -5, 4]) == 4
+        assert conv1d_sign_flips([2, 2, 3, 3], [7, 4, -1, -5]) == 0
+        assert conv1d_sign_flips([2, 1, 3, 6], [7, 4, -1, -5]) == 1
+
+    def test_all_positive_no_flip(self):
+        assert int(count_sign_flips([1, 2, 3])) == 0
+
+    def test_first_product_negative_flips(self):
+        assert int(count_sign_flips([-1, 2])) == 2  # 0 -> -1 -> +1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            count_sign_flips(np.zeros((3, 0), dtype=np.int64))
+
+    def test_batched(self):
+        flips = count_sign_flips(np.array([[1, -2], [1, 1]]))
+        assert flips.tolist() == [1, 0]
+
+    def test_width_wrapping_changes_counts(self):
+        """With a narrow register the PSUM can wrap and flip sign."""
+        products = [100, 100]  # 200 wraps to -56 in 8 bits
+        assert int(count_sign_flips(products)) == 0
+        assert int(count_sign_flips(products, width=8)) == 1
+
+    @given(weights_list)
+    @settings(max_examples=100)
+    def test_flips_bounded_by_cycles(self, ws):
+        assert 0 <= int(count_sign_flips(ws)) <= len(ws)
+
+
+class TestOptimality:
+    """The paper's two key properties of the reordering heuristic."""
+
+    @given(acts_list, st.data())
+    @settings(max_examples=100)
+    def test_compute_correctness_any_permutation(self, acts, data):
+        ws = data.draw(
+            st.lists(
+                st.integers(min_value=-128, max_value=127),
+                min_size=len(acts),
+                max_size=len(acts),
+            )
+        )
+        products = np.array(acts) * np.array(ws)
+        perm = np.random.default_rng(0).permutation(len(acts))
+        assert products.sum() == products[perm].sum()
+
+    @given(acts_list, st.data())
+    @settings(max_examples=150)
+    def test_sign_flip_optimality(self, acts, data):
+        """Non-negative weights first -> flips == minimum (0 or 1)."""
+        ws = np.array(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=-128, max_value=127),
+                    min_size=len(acts),
+                    max_size=len(acts),
+                )
+            )
+        )
+        acts = np.array(acts)
+        order = np.argsort(paper_sign(ws) == 0, kind="stable")  # nonneg first
+        products = (acts * ws)[order]
+        flips = int(count_sign_flips(products))
+        assert flips == int(minimum_sign_flips(products.sum()))
+
+    def test_minimum_sign_flips(self):
+        assert minimum_sign_flips([-1, 0, 7]).tolist() == [1, 0, 0]
+
+    @given(acts_list, st.data())
+    @settings(max_examples=100)
+    def test_rise_then_fall_after_reorder(self, acts, data):
+        ws = np.array(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=-128, max_value=127),
+                    min_size=len(acts),
+                    max_size=len(acts),
+                )
+            )
+        )
+        acts = np.array(acts)
+        order = np.argsort(paper_sign(ws) == 0, kind="stable")
+        products = (acts * ws)[order]
+        assert bool(is_rise_then_fall(products[None, :]).all())
+
+
+class TestMatrixSignFlips:
+    def test_matches_scalar_loop(self):
+        rng = np.random.default_rng(3)
+        acts = rng.integers(0, 256, size=(5, 8))
+        weights = rng.integers(-128, 128, size=(8, 3))
+        flips = matrix_sign_flips(acts, weights)
+        for p in range(5):
+            for k in range(3):
+                expected = conv1d_sign_flips(acts[p], weights[:, k])
+                assert flips[p, k] == expected
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            matrix_sign_flips(np.zeros((2, 3)), np.zeros((4, 2)))
+        with pytest.raises(ShapeError):
+            matrix_sign_flips(np.zeros(3), np.zeros((3, 2)))
+
+
+class TestRates:
+    def test_sign_flip_rate_range(self):
+        rng = np.random.default_rng(4)
+        products = rng.integers(-100, 100, size=(10, 20))
+        rate = sign_flip_rate(products)
+        assert 0.0 <= rate <= 1.0
+
+    def test_prefix_sums_with_width(self):
+        prefix = prefix_sums([2**22, 2**22, 2**22], width=24)
+        assert prefix.tolist() == [2**22, -(2**23), -(2**22)]

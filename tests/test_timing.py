@@ -1,0 +1,182 @@
+"""Tests for the delay surrogate, STA, PVTA models and the DTA."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hw.dta import DynamicTimingAnalyzer
+from repro.hw.mac import MacConfig, MacUnit
+from repro.hw.timing import DelayModel, StaticTimingAnalyzer
+from repro.hw.variations import (
+    AGING_10Y,
+    AGING_VT_3,
+    AGING_VT_5,
+    IDEAL,
+    PAPER_CORNERS,
+    VT_3,
+    VT_5,
+    NbtiAgingModel,
+    PvtaCondition,
+    VoltageTemperatureModel,
+    corner_by_name,
+)
+
+
+class TestDelayModel:
+    def test_max_delay_closed_form(self):
+        model = DelayModel(launch_ps=100, mult_per_bit_ps=2, settle_per_bit_ps=10)
+        cfg = MacConfig()
+        assert model.max_delay_ps(cfg) == 100 + 2 * 16 + 10 * 24
+
+    def test_cycle_delays_bounded_by_max(self):
+        mac = MacUnit()
+        rng = np.random.default_rng(0)
+        acts = rng.integers(0, 256, size=(16, 64))
+        weights = rng.integers(-128, 128, size=(16, 64))
+        trace = mac.run(acts, weights)
+        model = DelayModel()
+        delays = model.cycle_delays(trace)
+        assert np.all(delays <= model.max_delay_ps(mac.config) + 1e-9)
+        assert np.all(delays >= model.launch_ps)
+
+    def test_sign_flip_cycles_are_slowest(self):
+        """Critical input patterns must trigger the longest paths."""
+        mac = MacUnit()
+        rng = np.random.default_rng(1)
+        acts = rng.integers(0, 200, size=(64, 32))
+        weights = rng.integers(-128, 128, size=(64, 32))
+        trace = mac.run(acts, weights)
+        delays = DelayModel().cycle_delays(trace)
+        flips = trace.sign_flips
+        assert flips.any() and (~flips).any()
+        assert delays[flips].min() > np.percentile(delays[~flips], 90)
+
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(ConfigurationError):
+            DelayModel(launch_ps=-1)
+
+
+class TestSta:
+    def test_clock_above_max_delay(self):
+        sta = StaticTimingAnalyzer()
+        cfg = MacConfig()
+        assert sta.nominal_clock_ps(cfg) > sta.delay_model.max_delay_ps(cfg)
+
+    def test_frequency_inverse(self):
+        sta = StaticTimingAnalyzer()
+        cfg = MacConfig()
+        assert sta.nominal_frequency_ghz(cfg) == pytest.approx(
+            1000.0 / sta.nominal_clock_ps(cfg)
+        )
+
+    def test_slack_positive_at_nominal(self):
+        mac = MacUnit()
+        trace = mac.run([255], [127])
+        sta = StaticTimingAnalyzer()
+        assert np.all(sta.slack_ps(trace, mac.config) > 0)
+
+    def test_rejects_negative_margin(self):
+        with pytest.raises(ConfigurationError):
+            StaticTimingAnalyzer(margin=-0.1)
+
+
+class TestVariationModels:
+    def test_vt_mean_monotone(self):
+        model = VoltageTemperatureModel()
+        assert 0 == model.mean_shift(0) < model.mean_shift(3) < model.mean_shift(5)
+
+    def test_aging_power_law(self):
+        model = NbtiAgingModel()
+        assert model.mean_shift(0) == 0
+        assert model.mean_shift(1) < model.mean_shift(10)
+        # saturating: the second decade adds less than the first
+        assert model.mean_shift(10) - model.mean_shift(1) < model.mean_shift(1) * 10
+
+    def test_corner_mean_composition(self):
+        assert AGING_VT_5.mean_derate == pytest.approx(
+            1.0 + VT_5.mean_derate - 1.0 + AGING_10Y.mean_derate - 1.0
+        )
+
+    def test_corner_severity_ordering(self):
+        means = [c.mean_derate for c in PAPER_CORNERS]
+        assert means == sorted(means)
+        assert IDEAL.mean_derate == 1.0
+
+    def test_sigma_quadrature(self):
+        expected = np.hypot(VT_3.sigma_derate, NbtiAgingModel().sigma(10))
+        assert AGING_VT_3.sigma_derate == pytest.approx(expected, rel=1e-3)
+
+    def test_corner_by_name(self):
+        assert corner_by_name("aging&vt-5%") is AGING_VT_5
+        with pytest.raises(ConfigurationError):
+            corner_by_name("nonsense")
+
+    def test_sample_derates_stats(self):
+        rng = np.random.default_rng(0)
+        samples = AGING_VT_5.sample_derates(200_000, rng)
+        assert samples.mean() == pytest.approx(AGING_VT_5.mean_derate, abs=2e-4)
+        assert samples.std() == pytest.approx(AGING_VT_5.sigma_derate, rel=0.02)
+
+
+class TestDta:
+    @pytest.fixture()
+    def dta(self):
+        return DynamicTimingAnalyzer()
+
+    @pytest.fixture()
+    def trace(self):
+        rng = np.random.default_rng(2)
+        acts = rng.integers(0, 256, size=(32, 64))
+        weights = rng.integers(-128, 128, size=(32, 64))
+        return MacUnit().run(acts, weights)
+
+    def test_probabilities_in_unit_interval(self, dta, trace):
+        for corner in PAPER_CORNERS:
+            probs = dta.error_probabilities(trace, corner)
+            assert np.all(probs >= 0) and np.all(probs <= 1)
+
+    def test_ter_monotone_in_corner_severity(self, dta, trace):
+        ters = [dta.analyze_trace(trace, c).ter for c in PAPER_CORNERS]
+        assert all(a <= b * (1 + 1e-12) for a, b in zip(ters, ters[1:]))
+
+    def test_ideal_ter_negligible(self, dta, trace):
+        assert dta.analyze_trace(trace, IDEAL).ter < 1e-12
+
+    def test_result_bookkeeping(self, dta, trace):
+        result = dta.analyze_trace(trace, AGING_VT_5)
+        assert result.n_cycles == trace.sign_flips.size
+        assert result.expected_errors == pytest.approx(result.ter * result.n_cycles)
+        assert result.clock_ps == dta.clock_ps
+
+    def test_analyze_runs_mac(self, dta):
+        result = dta.analyze(np.array([[1, 2]]), np.array([[3, 4]]), AGING_VT_5)
+        assert result.n_cycles == 2
+
+    def test_sampling_converges_to_analytic(self, dta):
+        """Sampled error rates must match the closed form (the two DTA modes)."""
+        # a stressed artificial corner with high error probability keeps
+        # the Monte-Carlo sample count small
+        hot = PvtaCondition("hot", vt_percent=5.0, aging_years=10.0)
+        mac = MacUnit()
+        rng = np.random.default_rng(3)
+        acts = rng.integers(0, 256, size=(8, 16))
+        weights = rng.integers(-128, 128, size=(8, 16))
+        trace = mac.run(acts, weights)
+        probs = dta.error_probabilities(trace, hot)
+        counts = np.zeros(probs.shape)
+        n = 3000
+        for _ in range(n):
+            counts += dta.sample_errors(trace, hot, rng)
+        # aggregate expected errors should agree within Monte-Carlo noise
+        assert counts.sum() / n == pytest.approx(probs.sum(), rel=0.15, abs=0.5)
+
+    def test_zero_sigma_deterministic(self, dta, trace):
+        frozen = PvtaCondition(
+            "frozen",
+            vt_model=VoltageTemperatureModel(sigma_floor=0.0, sigma_per_percent=0.0),
+            aging_model=NbtiAgingModel(sigma_at_10y=0.0),
+        )
+        probs = dta.error_probabilities(trace, frozen)
+        assert set(np.unique(probs)).issubset({0.0, 1.0})
