@@ -1,0 +1,122 @@
+"""Bench: engine speedups — fast backend, result cache, batched sweep.
+
+Records the three wall-clock ratios the engine exists for, into the bench
+trajectory:
+
+* ``fast`` backend vs the ``reference`` simulator on the same job batch
+  (single process, no cache) — the vectorized-corner-evaluation win;
+* warm (cache-hit) vs cold sweep — what re-running any figure costs now;
+* the ``read-repro all --jobs N``-style engine sweep (fast backend,
+  multi-process, cached) vs the serial seed path (reference backend, no
+  cache, one process).
+
+The asserted bounds are the CPU-count-independent ones (the fast backend
+and the cache); the multi-process sweep number is recorded for the
+trajectory since this container may expose a single core.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import MappingStrategy
+from repro.engine import SimEngine, SimJob
+from repro.hw.variations import PAPER_CORNERS
+
+from conftest import run_once
+
+
+def make_jobs(n_jobs=6, n_pixels=64, c_eff=96, k=16, seed=7):
+    """A synthetic multi-layer sweep: every job at all six paper corners."""
+    rng = np.random.default_rng(seed)
+    strategies = list(MappingStrategy)
+    return [
+        SimJob(
+            acts=rng.integers(0, 256, size=(n_pixels, c_eff)),
+            weights=rng.integers(-128, 128, size=(c_eff, k)),
+            corners=PAPER_CORNERS,
+            group_size=4,
+            strategy=strategies[i % len(strategies)],
+            label=f"bench:{i}",
+        )
+        for i in range(n_jobs)
+    ]
+
+
+def timed(fn, *args, repeats=2):
+    """Best-of-N wall clock (seconds) to damp scheduler noise."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def timed_interleaved(contenders, repeats=3):
+    """Best-of-N wall clock per contender, rounds interleaved.
+
+    Alternating the contenders inside each round keeps slow drift (CPU
+    throttling, cgroup scheduling) from biasing whichever side happens to
+    run first — this is a shared-core CI container.
+    """
+    best = [float("inf")] * len(contenders)
+    for _ in range(repeats):
+        for i, fn in enumerate(contenders):
+            start = time.perf_counter()
+            fn()
+            best[i] = min(best[i], time.perf_counter() - start)
+    return best
+
+
+def test_bench_engine_fast_backend(benchmark):
+    jobs = make_jobs()
+    reference = SimEngine(backend="reference", use_cache=False)
+    fast = SimEngine(backend="fast", use_cache=False)
+    reference.run_many(jobs)  # warm numpy/scipy paths for both contenders
+    fast.run_many(jobs)
+    t_reference, t_fast = timed_interleaved(
+        [lambda: reference.run_many(jobs), lambda: fast.run_many(jobs)]
+    )
+    run_once(benchmark, fast.run_many, jobs)
+    print()
+    print(
+        f"reference: {t_reference:.3f}s  fast: {t_fast:.3f}s  "
+        f"speedup: {t_reference / t_fast:.2f}x"
+    )
+    assert t_fast < t_reference
+
+
+def test_bench_engine_cache_hits(benchmark, tmp_path):
+    jobs = make_jobs(n_jobs=4)
+    engine = SimEngine(backend="fast", cache_dir=tmp_path)
+    t_cold = timed(engine.run_many, jobs, repeats=1)
+    assert engine.stats.misses == len(jobs)
+    run_once(benchmark, engine.run_many, jobs)
+    assert engine.stats.hits >= len(jobs)
+    t_warm = timed(engine.run_many, jobs)
+    print()
+    print(
+        f"cold: {t_cold:.3f}s  warm: {t_warm:.4f}s  "
+        f"cache-hit speedup: {t_cold / t_warm:.1f}x"
+    )
+    assert t_warm * 2 < t_cold
+
+
+def test_bench_engine_sweep_vs_serial_seed_path(benchmark, tmp_path):
+    """The 'read-repro all --jobs 4' shape vs the serial seed path."""
+    jobs = make_jobs(n_jobs=8)
+    t_serial = timed(
+        SimEngine(backend="reference", use_cache=False).run_many, jobs, repeats=1
+    )
+    engine = SimEngine(backend="fast", jobs=4, cache_dir=tmp_path)
+    t_cold = timed(engine.run_many, jobs, repeats=1)  # parallel, cache-filling
+    t_warm = run_once(benchmark, lambda: timed(engine.run_many, jobs, repeats=1))
+    print()
+    print(
+        f"serial seed path: {t_serial:.3f}s  engine cold (jobs=4): {t_cold:.3f}s  "
+        f"engine warm: {t_warm:.4f}s  warm speedup: {t_serial / t_warm:.1f}x"
+    )
+    # The cached engine sweep must beat the serial seed path outright; the
+    # cold multi-process number is recorded above (core-count dependent).
+    assert t_warm < t_serial

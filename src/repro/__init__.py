@@ -19,6 +19,21 @@ Quickstart
 >>> report = SystolicArraySimulator().run_gemm(acts, weights, plan)
 >>> report.ter <= 1.0
 True
+
+Batches of such simulations go through the engine (see ``docs/engine.md``):
+describe each as a :class:`SimJob`, pick a backend (``"reference"`` or the
+vectorized ``"fast"``), and :class:`SimEngine` adds multi-process fan-out
+plus an on-disk result cache keyed by a content hash of the job spec:
+
+>>> from repro import SimEngine, SimJob, TER_EVAL_CORNER
+>>> engine = SimEngine(backend="fast", use_cache=False)
+>>> job = SimJob(acts=acts, weights=weights, corners=(TER_EVAL_CORNER,),
+...              group_size=4, strategy=MappingStrategy.CLUSTER_THEN_REORDER)
+>>> fast_report = engine.run(job)[TER_EVAL_CORNER.name]
+>>> bool(abs(fast_report.ter - report.ter) < 1e-9)
+True
+>>> bool(np.array_equal(fast_report.outputs, report.outputs))
+True
 """
 
 from .arch import (
@@ -39,9 +54,20 @@ from .core import (
     plan_network,
     sort_input_channels,
 )
+from .engine import (
+    SimEngine,
+    SimJob,
+    backend_names,
+    configure_default_engine,
+    default_engine,
+    get_backend,
+    job_key,
+    register_backend,
+)
 from .errors import (
     ConfigurationError,
     MappingError,
+    MappingFallbackWarning,
     QuantizationError,
     ReproError,
     ShapeError,
@@ -74,6 +100,7 @@ __all__ = [
     "MacConfig",
     "MacUnit",
     "MappingError",
+    "MappingFallbackWarning",
     "MappingStrategy",
     "NetworkMappingPlan",
     "PAPER_ARRAY",
@@ -82,14 +109,22 @@ __all__ = [
     "QuantizationError",
     "ReproError",
     "ShapeError",
+    "SimEngine",
+    "SimJob",
     "StaticTimingAnalyzer",
     "SystolicArraySimulator",
     "TER_EVAL_CORNER",
     "TrainingError",
+    "backend_names",
+    "configure_default_engine",
     "count_sign_flips",
     "corner_by_name",
+    "default_engine",
+    "get_backend",
+    "job_key",
     "plan_layer",
     "plan_network",
+    "register_backend",
     "sort_input_channels",
     "__version__",
 ]

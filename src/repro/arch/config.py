@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, unknown_name_error
 from ..hw.mac import MacConfig
 from ..hw.timing import DelayModel, StaticTimingAnalyzer
 
@@ -28,9 +28,7 @@ class Dataflow(enum.Enum):
         for member in cls:
             if member.value == name or member.name.lower() == name.lower():
                 return member
-        raise ConfigurationError(
-            f"unknown dataflow {name!r}; expected one of {[m.value for m in cls]}"
-        )
+        raise unknown_name_error("dataflow", name, [m.value for m in cls])
 
 
 @dataclass(frozen=True)

@@ -4,11 +4,15 @@ Usage::
 
     read-repro list
     read-repro fig8 --scale small
-    read-repro all --scale tiny
-    python -m repro fig10
+    read-repro all --scale tiny --jobs 4 --backend fast
+    python -m repro fig10 --no-cache
 
 Each experiment prints the same rows/series the paper reports (as text
-tables; this library is plot-free by design).
+tables; this library is plot-free by design).  The engine flags apply to
+every simulation the runners submit: ``--backend`` selects the simulator
+implementation, ``--jobs`` fans cache-missing work out over worker
+processes, and ``--no-cache`` disables the on-disk result cache, so
+``read-repro all`` is one parallel, cache-reusing sweep.
 """
 
 from __future__ import annotations
@@ -18,10 +22,18 @@ import sys
 import time
 from typing import List, Optional
 
+from .engine import backend_names, configure_default_engine, default_engine
 from .experiments import RUNNERS, SCALES, get_scale
 
 #: Runners that take no scale argument (pure/static demos).
 _SCALELESS = {"table1", "fig3"}
+
+
+def _positive_int(value: str) -> int:
+    jobs = int(value)
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return jobs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,6 +52,24 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(SCALES),
         default=None,
         help="experiment sizing (default: $REPRO_SCALE or 'small')",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=backend_names(),
+        default=None,
+        help="simulation backend (default: $REPRO_BACKEND or 'reference')",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="worker processes for simulation jobs (default: $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk simulation result cache",
     )
     return parser
 
@@ -62,12 +92,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             doc = (RUNNERS[name].__doc__ or "").strip().splitlines()[0]
             print(f"{name:8s} {doc}")
         return 0
+    engine = configure_default_engine(
+        backend=args.backend,
+        jobs=args.jobs,
+        use_cache=False if args.no_cache else None,
+    )
     names = sorted(RUNNERS) if args.experiment == "all" else [args.experiment]
     for name in names:
         start = time.time()
         print(f"=== {name} " + "=" * max(0, 60 - len(name)))
         print(run_one(name, args.scale))
         print(f"--- {name} done in {time.time() - start:.1f}s\n")
+    stats = default_engine().stats
+    print(
+        f"engine[{engine.backend_name}, jobs={engine.jobs}, "
+        f"cache={'on' if engine.cache is not None else 'off'}]: {stats.describe()}"
+    )
     return 0
 
 

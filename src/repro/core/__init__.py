@@ -20,6 +20,7 @@ from .pipeline import (
     LayerMappingPlan,
     MappingStrategy,
     NetworkMappingPlan,
+    check_clustering_request,
     plan_layer,
     plan_network,
 )
@@ -82,6 +83,7 @@ __all__ = [
     "optimize_deployment",
     "paper_sign",
     "plan_from_dict",
+    "check_clustering_request",
     "plan_layer",
     "plan_network",
     "plan_to_dict",

@@ -21,12 +21,19 @@ property and is enforced by the integration tests.
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..errors import ConfigurationError, ShapeError
+from ..errors import (
+    ConfigurationError,
+    MappingError,
+    MappingFallbackWarning,
+    ShapeError,
+    unknown_name_error,
+)
 from .clustering import BalancedSignClusterer, ClusteringResult, contiguous_clusters
 from .lut import LutCostModel
 from .reorder import ReorderResult, reorder_groups
@@ -44,9 +51,7 @@ class MappingStrategy(enum.Enum):
         for member in cls:
             if member.value == name or member.name.lower() == name.lower():
                 return member
-        raise ConfigurationError(
-            f"unknown strategy {name!r}; expected one of {[m.value for m in cls]}"
-        )
+        raise unknown_name_error("strategy", name, [m.value for m in cls])
 
 
 @dataclass(frozen=True)
@@ -110,6 +115,44 @@ class LayerMappingPlan:
         )
 
 
+def check_clustering_request(
+    k: int,
+    group_size: int,
+    strategy: MappingStrategy,
+    strict: bool = False,
+    stacklevel: int = 2,
+) -> None:
+    """Diagnose a clustering request that would degrade to segmentation.
+
+    Shared by :func:`plan_layer` and the simulation engine's scheduler
+    (which must surface the diagnostic even when the planned result is
+    recalled from the cache and no plan is built).  Emits a
+    :class:`~repro.errors.MappingFallbackWarning`, or raises
+    :class:`~repro.errors.MappingError` with ``strict=True``; a no-op for
+    feasible requests and non-clustering strategies.
+    """
+    if strategy is not MappingStrategy.CLUSTER_THEN_REORDER:
+        return
+    if k % group_size == 0 and k > group_size:
+        return
+    reason = (
+        f"K={k} is not divisible by group_size={group_size}"
+        if k % group_size != 0
+        else f"K={k} fits in a single group of {group_size}"
+    )
+    message = f"cluster_then_reorder cannot form balanced clusters ({reason})"
+    if strict:
+        raise MappingError(
+            f"{message}; pass strict=False to fall back to contiguous segmentation"
+        )
+    warnings.warn(
+        f"{message}; falling back to contiguous segmentation with per-group "
+        "reordering (the plan is still labelled cluster_then_reorder)",
+        MappingFallbackWarning,
+        stacklevel=stacklevel,
+    )
+
+
 def plan_layer(
     weights: np.ndarray,
     group_size: int,
@@ -117,6 +160,7 @@ def plan_layer(
     criteria: str = "sign_first",
     cluster_iterations: int = 30,
     seed: int = 0,
+    strict: bool = False,
 ) -> LayerMappingPlan:
     """Build the READ mapping plan for one layer.
 
@@ -132,6 +176,12 @@ def plan_layer(
         sweep value of Fig. 7.
     strategy / criteria:
         READ variant and Algorithm 1 sorting criteria.
+    strict:
+        A cluster-then-reorder request that cannot form balanced clusters
+        (``K`` indivisible by ``group_size``, or a single group) degrades
+        to contiguous segmentation + reorder.  By default this emits a
+        :class:`~repro.errors.MappingFallbackWarning`; with
+        ``strict=True`` it raises :class:`~repro.errors.MappingError`.
     """
     weights = np.asarray(weights)
     if weights.ndim != 2:
@@ -141,6 +191,7 @@ def plan_layer(
     c_eff, k = weights.shape
     clustering: Optional[ClusteringResult] = None
 
+    check_clustering_request(k, group_size, strategy, strict=strict, stacklevel=3)
     if strategy is MappingStrategy.CLUSTER_THEN_REORDER and k % group_size == 0 and k > group_size:
         clusterer = BalancedSignClusterer(
             cluster_size=group_size, max_iterations=cluster_iterations, seed=seed
@@ -148,8 +199,7 @@ def plan_layer(
         clustering = clusterer.fit(weights)
         groups_cols: Sequence[np.ndarray] = clustering.clusters
     else:
-        # baseline/reorder, or degenerate clustering (single group /
-        # indivisible K) falls back to contiguous segmentation.
+        # baseline/reorder by design; degraded clustering was diagnosed above.
         groups_cols = contiguous_clusters(k, group_size)
 
     if strategy is MappingStrategy.BASELINE:
@@ -202,6 +252,7 @@ def plan_network(
     kernel_areas: Optional[Dict[str, int]] = None,
     propagate: bool = True,
     seed: int = 0,
+    strict: bool = False,
 ) -> NetworkMappingPlan:
     """Plan every layer of a sequential network with permutation propagation.
 
@@ -220,6 +271,9 @@ def plan_network(
         input rows before planning it (the paper's scheme).  With False,
         layers are planned independently and activations must instead be
         physically re-permuted between layers.
+    strict:
+        Forwarded to :func:`plan_layer`: raise instead of warning when a
+        clustering request degrades to contiguous segmentation.
     """
     if isinstance(strategy, str):
         strategy = MappingStrategy.from_name(strategy)
@@ -250,7 +304,12 @@ def plan_network(
             incoming[name] = np.arange(c_channels)
 
         plan = plan_layer(
-            weights, group_size=group_size, strategy=strategy, criteria=criteria, seed=seed
+            weights,
+            group_size=group_size,
+            strategy=strategy,
+            criteria=criteria,
+            seed=seed,
+            strict=strict,
         )
         plans[name] = plan
         prev_out_perm = plan.output_channel_permutation()

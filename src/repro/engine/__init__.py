@@ -1,0 +1,60 @@
+"""Batched multi-backend simulation engine with an on-disk result cache.
+
+The engine turns the paper's serial per-figure simulation loops into one
+schedulable workload: experiments describe their measurements as
+:class:`SimJob`\\ s, and :class:`SimEngine` executes them on a selectable
+backend (``reference`` or vectorized ``fast``), fans cache-missing jobs
+out over worker processes, and memoizes every result on disk keyed by a
+content hash of the job spec.  See ``docs/engine.md`` for the full tour.
+
+Quickstart::
+
+    from repro.engine import SimEngine, SimJob
+    from repro.hw.variations import PAPER_CORNERS
+
+    engine = SimEngine(backend="fast", jobs=4)
+    reports = engine.run(SimJob(acts=acts, weights=weights,
+                                corners=PAPER_CORNERS,
+                                strategy="cluster_then_reorder"))
+    reports["Aging&VT-5%"].ter
+"""
+
+from .backends import (
+    FastBackend,
+    ReferenceBackend,
+    SimulationBackend,
+    backend_factory,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from .cache import CACHE_ENV_VAR, ResultCache, cache_root
+from .job import CACHE_SCHEMA_VERSION, SimJob, job_key
+from .scheduler import (
+    EngineStats,
+    SimEngine,
+    configure_default_engine,
+    default_engine,
+    reset_default_engine,
+)
+
+__all__ = [
+    "CACHE_ENV_VAR",
+    "CACHE_SCHEMA_VERSION",
+    "EngineStats",
+    "FastBackend",
+    "ReferenceBackend",
+    "ResultCache",
+    "SimEngine",
+    "SimJob",
+    "SimulationBackend",
+    "backend_factory",
+    "backend_names",
+    "cache_root",
+    "configure_default_engine",
+    "default_engine",
+    "get_backend",
+    "job_key",
+    "register_backend",
+    "reset_default_engine",
+]

@@ -1,0 +1,144 @@
+"""Content-addressed on-disk cache for simulation results.
+
+Extends the repository's existing ``.cache/`` convention (which already
+holds trained-model snapshots) with a ``sim-results/`` namespace: each
+:class:`~repro.engine.job.SimJob` result is stored as one compressed
+``.npz`` under ``<root>/sim-results/<key[:2]>/<key>.npz``, where ``key``
+is the job's SHA-256 content hash (:func:`~repro.engine.job.job_key`).
+
+Properties the test suite relies on:
+
+* **byte-identical round trips** — reports are plain float64 / int64 /
+  str fields plus the exact int64 outputs matrix, all of which ``.npz``
+  preserves bit-for-bit, so a cache hit is indistinguishable from a cold
+  run;
+* **atomic writes** — entries are written to a temp file and
+  ``os.replace``d into place, so concurrent workers never observe a
+  partial entry;
+* **self-invalidation** — the schema version participates in the job key
+  and unreadable entries are treated as misses (and removed), so stale
+  or corrupt files can only cost a re-simulation, never wrong results.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..arch.systolic import LayerReliabilityReport
+
+#: Environment variable overriding the cache root (shared with the
+#: trained-model cache in :mod:`repro.experiments.common`).
+CACHE_ENV_VAR = "REPRO_CACHE"
+
+
+def cache_root() -> Path:
+    """Root of the repo-local on-disk cache (``$REPRO_CACHE`` or ``.cache``)."""
+    return Path(os.environ.get(CACHE_ENV_VAR, Path(__file__).resolve().parents[3] / ".cache"))
+
+
+class ResultCache:
+    """Store/load per-job report dictionaries keyed by content hash."""
+
+    def __init__(self, root: Optional[Path] = None):
+        base = Path(root) if root is not None else cache_root()
+        self.root = base / "sim-results"
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    def path_for(self, key: str) -> Path:
+        """Cache-entry path for a job key (two-level fan-out by prefix)."""
+        return self.root / key[:2] / f"{key}.npz"
+
+    def load(self, key: str) -> Optional[Dict[str, LayerReliabilityReport]]:
+        """Return the cached reports for ``key``, or None on a miss.
+
+        Unreadable or schema-incompatible entries are deleted and treated
+        as misses.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                return _deserialize(data)
+        except Exception:
+            path.unlink(missing_ok=True)
+            return None
+
+    def store(self, key: str, reports: Dict[str, LayerReliabilityReport]) -> Path:
+        """Atomically persist ``reports`` under ``key``; returns the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # ".tmp" suffix (no ".npz") keeps in-flight writes invisible to
+        # the "*/*.npz" globs used by __len__/clear().
+        tmp = path.parent / f".{key}.{os.getpid()}.tmp"
+        try:
+            with open(tmp, "wb") as handle:
+                np.savez_compressed(handle, **_serialize(reports))
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return path
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.npz"))
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        for entry in self.root.glob("*/*.npz"):
+            entry.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+
+# ---------------------------------------------------------------------- #
+# (De)serialization
+# ---------------------------------------------------------------------- #
+def _serialize(reports: Dict[str, LayerReliabilityReport]) -> Dict[str, np.ndarray]:
+    """Flatten per-corner reports into npz-storable arrays.
+
+    All reports of one job share the outputs matrix (stored once); the
+    scalar fields are stored as aligned per-corner vectors.
+    """
+    if not reports:
+        raise ValueError("cannot serialize an empty report set")
+    ordered: Sequence[LayerReliabilityReport] = list(reports.values())
+    first = ordered[0]
+    return {
+        "corner_names": np.array([r.corner_name for r in ordered]),
+        "ter": np.array([r.ter for r in ordered], dtype=np.float64),
+        "sign_flip_rate": np.array([r.sign_flip_rate for r in ordered], dtype=np.float64),
+        "n_cycles": np.array([r.n_cycles for r in ordered], dtype=np.int64),
+        "mean_chain_length": np.array(
+            [r.mean_chain_length for r in ordered], dtype=np.float64
+        ),
+        "n_macs_per_output": np.array(
+            [r.n_macs_per_output for r in ordered], dtype=np.int64
+        ),
+        "strategy": np.array([r.strategy for r in ordered]),
+        "outputs": np.asarray(first.outputs, dtype=np.int64),
+    }
+
+
+def _deserialize(data) -> Dict[str, LayerReliabilityReport]:
+    outputs = np.asarray(data["outputs"], dtype=np.int64)
+    reports: Dict[str, LayerReliabilityReport] = {}
+    for i, name in enumerate(data["corner_names"]):
+        name = str(name)
+        reports[name] = LayerReliabilityReport(
+            ter=float(data["ter"][i]),
+            sign_flip_rate=float(data["sign_flip_rate"][i]),
+            n_cycles=int(data["n_cycles"][i]),
+            mean_chain_length=float(data["mean_chain_length"][i]),
+            outputs=outputs,
+            n_macs_per_output=int(data["n_macs_per_output"][i]),
+            strategy=str(data["strategy"][i]),
+            corner_name=name,
+        )
+    return reports

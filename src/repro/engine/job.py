@@ -1,0 +1,217 @@
+"""The unit of work of the simulation engine: one :class:`SimJob`.
+
+A job fully specifies one layer-level reliability simulation — operand
+matrices, mapping-plan parameters, accelerator configuration and the PVTA
+corners to analyze — in a picklable, content-addressable form.  The same
+job always produces the same :class:`~repro.arch.systolic.LayerReliabilityReport`
+set regardless of which backend executes it or on which worker process,
+which is what makes the on-disk result cache sound.
+
+:func:`job_key` derives the cache key: a SHA-256 over a canonical
+serialization of every result-affecting field (array bytes and shapes,
+plan parameters, corner models, accelerator geometry and timing
+coefficients).  Provenance-only fields (``label``) are excluded, so
+relabelled jobs still hit the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from ..arch.config import AcceleratorConfig
+from ..core.pipeline import (
+    LayerMappingPlan,
+    MappingStrategy,
+    check_clustering_request,
+    plan_layer,
+)
+from ..errors import MappingError
+from ..hw.variations import PvtaCondition
+
+#: Bump when the cached result layout or simulation semantics change;
+#: old cache entries then miss instead of deserializing garbage.
+CACHE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, eq=False)
+class SimJob:
+    """One layer-level reliability simulation, ready to schedule.
+
+    Attributes
+    ----------
+    acts:
+        ``(n_pixels, C_eff)`` integer activation matrix (im2col rows).
+    weights:
+        ``(C_eff, K)`` integer weight matrix.
+    corners:
+        PVTA corners to analyze; one report per corner is produced from a
+        single shared simulation pass.
+    group_size:
+        Output channels per array pass (defaults to ``config.cols``).
+    strategy / criteria / cluster_iterations / seed:
+        Mapping-plan parameters forwarded to
+        :func:`~repro.core.pipeline.plan_layer`.
+    config:
+        Accelerator instance (geometry, dataflow, timing models).
+    pixel_chunk:
+        GEMM rows simulated per vectorized block; affects only the
+        weight-stationary flip statistics at chunk boundaries, exactly as
+        in :class:`~repro.arch.systolic.SystolicArraySimulator`.
+    strict:
+        Forwarded to :func:`plan_layer`: raise instead of warning when a
+        clustering request degrades to contiguous segmentation.
+    label:
+        Free-form provenance (layer name etc.).  **Not** part of the
+        cache key.
+    """
+
+    acts: np.ndarray
+    weights: np.ndarray
+    corners: Tuple[PvtaCondition, ...]
+    group_size: int = 0  # 0 -> config.cols
+    strategy: MappingStrategy = MappingStrategy.BASELINE
+    criteria: str = "sign_first"
+    cluster_iterations: int = 30
+    seed: int = 0
+    config: AcceleratorConfig = field(default_factory=AcceleratorConfig)
+    pixel_chunk: int = 32
+    strict: bool = False
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        acts = np.ascontiguousarray(np.asarray(self.acts, dtype=np.int64))
+        weights = np.ascontiguousarray(np.asarray(self.weights, dtype=np.int64))
+        object.__setattr__(self, "acts", acts)
+        object.__setattr__(self, "weights", weights)
+        if acts.ndim != 2 or weights.ndim != 2:
+            raise MappingError("acts and weights must be 2-D matrices")
+        if acts.shape[1] != weights.shape[0]:
+            raise MappingError(
+                f"reduction mismatch: acts {acts.shape} vs weights {weights.shape}"
+            )
+        strategy = self.strategy
+        if isinstance(strategy, str):
+            object.__setattr__(self, "strategy", MappingStrategy.from_name(strategy))
+        corners = tuple(self.corners)
+        object.__setattr__(self, "corners", corners)
+        if not corners:
+            raise MappingError("need at least one PVTA corner")
+        if self.group_size < 0:
+            raise MappingError("group_size must be >= 1 (or 0 for config.cols)")
+        if self.pixel_chunk < 1:
+            raise MappingError("pixel_chunk must be >= 1")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def resolved_group_size(self) -> int:
+        """The effective output-channel group width."""
+        return self.group_size or self.config.cols
+
+    def build_plan(self) -> LayerMappingPlan:
+        """Materialize the mapping plan this job prescribes."""
+        return plan_layer(
+            self.weights,
+            group_size=self.resolved_group_size,
+            strategy=self.strategy,
+            criteria=self.criteria,
+            cluster_iterations=self.cluster_iterations,
+            seed=self.seed,
+            strict=self.strict,
+        )
+
+    def check_plan(self, stacklevel: int = 3) -> None:
+        """Run the planner's degraded-clustering diagnostic without planning.
+
+        The scheduler calls this so a ``strict`` job raises — and a
+        non-strict one warns — even when its result is recalled from the
+        cache and :meth:`build_plan` never executes.
+        """
+        check_clustering_request(
+            self.weights.shape[1],
+            self.resolved_group_size,
+            self.strategy,
+            strict=self.strict,
+            stacklevel=stacklevel,
+        )
+
+    def key(self) -> str:
+        """Content-addressed cache key (hex SHA-256)."""
+        return job_key(self)
+
+
+# ---------------------------------------------------------------------- #
+# Stable hashing
+# ---------------------------------------------------------------------- #
+def _feed(h: "hashlib._Hash", *tokens: object) -> None:
+    for token in tokens:
+        h.update(repr(token).encode("utf-8"))
+        h.update(b"\x00")
+
+
+def _feed_array(h: "hashlib._Hash", name: str, arr: np.ndarray) -> None:
+    _feed(h, name, arr.dtype.str, arr.shape)
+    h.update(np.ascontiguousarray(arr).tobytes())
+
+
+def _feed_corner(h: "hashlib._Hash", corner: PvtaCondition) -> None:
+    _feed(
+        h,
+        corner.name,
+        corner.vt_percent,
+        corner.aging_years,
+        corner.vt_model.mean_per_percent,
+        corner.vt_model.sigma_floor,
+        corner.vt_model.sigma_per_percent,
+        corner.aging_model.coefficient,
+        corner.aging_model.exponent,
+        corner.aging_model.sigma_at_10y,
+    )
+
+
+def _feed_config(h: "hashlib._Hash", config: AcceleratorConfig) -> None:
+    _feed(
+        h,
+        config.rows,
+        config.cols,
+        config.dataflow.value,
+        config.sta_margin,
+        config.mac.act_width,
+        config.mac.weight_width,
+        config.mac.psum_width,
+        config.mac.act_signed,
+        config.delay_model.launch_ps,
+        config.delay_model.mult_per_bit_ps,
+        config.delay_model.settle_per_bit_ps,
+    )
+
+
+def job_key(job: SimJob) -> str:
+    """Stable content hash of every result-affecting field of ``job``.
+
+    Two jobs with equal keys produce bit-identical reports; anything that
+    can change an output — operands, plan parameters, corner set and
+    order, accelerator/timing configuration, pixel chunking — feeds the
+    hash.  ``label`` intentionally does not.
+    """
+    h = hashlib.sha256()
+    _feed(h, "repro-simjob", CACHE_SCHEMA_VERSION)
+    _feed_array(h, "acts", job.acts)
+    _feed_array(h, "weights", job.weights)
+    _feed(
+        h,
+        job.resolved_group_size,
+        job.strategy.value,
+        job.criteria,
+        job.cluster_iterations,
+        job.seed,
+        job.pixel_chunk,
+        len(job.corners),
+    )
+    for corner in job.corners:
+        _feed_corner(h, corner)
+    _feed_config(h, job.config)
+    return h.hexdigest()

@@ -1,0 +1,209 @@
+"""Job scheduling: cache lookup, process-pool fan-out, result collection.
+
+:class:`SimEngine` is the single entry point the experiment runners use:
+hand it a batch of :class:`~repro.engine.job.SimJob`\\ s and it returns
+one report dictionary per job, in submission order.  Per job it
+
+1. consults the on-disk :class:`~repro.engine.cache.ResultCache` (keyed
+   by the job's content hash);
+2. dispatches the misses to the configured backend — inline when
+   ``jobs == 1``, over a ``concurrent.futures.ProcessPoolExecutor``
+   otherwise (TER evaluation is embarrassingly parallel across jobs);
+3. stores fresh results back into the cache.
+
+A process-wide *default engine* carries the CLI's ``--backend`` /
+``--jobs`` / ``--no-cache`` choices (or their ``REPRO_BACKEND`` /
+``REPRO_JOBS`` / ``REPRO_NO_CACHE`` environment equivalents) to every
+runner without threading an argument through each ``run()`` signature.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..arch.systolic import LayerReliabilityReport
+from ..errors import ConfigurationError, MappingFallbackWarning
+from .backends import SimulationBackend, backend_factory, get_backend
+from .cache import ResultCache
+from .job import SimJob
+
+Reports = Dict[str, LayerReliabilityReport]
+
+
+def _execute_job(factory: Callable[[], SimulationBackend], job: SimJob) -> Reports:
+    """Top-level worker entry point (must be picklable for the pool).
+
+    Receives the backend *factory* rather than its registry name so
+    spawned workers — which only know the built-in registrations — can
+    run third-party backends registered in the submitting process.
+    """
+    return factory().run(job)
+
+
+@dataclass
+class EngineStats:
+    """Counters accumulated over an engine's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    def describe(self) -> str:
+        return f"{self.total} job(s): {self.hits} cache hit(s), {self.misses} simulated"
+
+
+class SimEngine:
+    """Batched, cached, multi-process front end to the backends.
+
+    Parameters
+    ----------
+    backend:
+        Registered backend name (``"reference"`` or ``"fast"``; see
+        :func:`repro.engine.backend_names`).
+    jobs:
+        Worker processes for cache-missing work.  ``1`` (default) runs
+        inline; higher values fan out over a process pool.
+    use_cache:
+        Consult/populate the on-disk result cache.
+    cache_dir:
+        Override the cache root (defaults to the repo ``.cache/`` or
+        ``$REPRO_CACHE``); accepts a path or a prebuilt
+        :class:`ResultCache`.
+    """
+
+    def __init__(
+        self,
+        backend: str = "reference",
+        jobs: int = 1,
+        use_cache: bool = True,
+        cache_dir: Union[None, str, Path, ResultCache] = None,
+    ):
+        get_backend(backend)  # validate the name eagerly
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.backend_name = backend
+        self.jobs = jobs
+        if not use_cache:
+            self.cache: Optional[ResultCache] = None
+        elif isinstance(cache_dir, ResultCache):
+            self.cache = cache_dir
+        else:
+            self.cache = ResultCache(cache_dir)
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------ #
+    def run(self, job: SimJob) -> Reports:
+        """Execute (or recall) a single job."""
+        return self.run_many([job])[0]
+
+    def run_many(self, jobs: Sequence[SimJob]) -> List[Reports]:
+        """Execute a batch of jobs; results come back in submission order.
+
+        Cache hits are returned without simulating; misses run on the
+        configured backend, in parallel when ``self.jobs > 1``.
+        """
+        jobs = list(jobs)
+        results: List[Optional[Reports]] = [None] * len(jobs)
+        pending: List[int] = []
+        keys: List[Optional[str]] = [None] * len(jobs)
+
+        for i, job in enumerate(jobs):
+            # Diagnose degraded clustering in the submitting process for
+            # every job: strict jobs raise up front, non-strict ones warn
+            # even when the result is a cache hit or simulates in a
+            # worker process (whose warnings never reach the caller).
+            job.check_plan()
+            if self.cache is not None:
+                keys[i] = job.key()
+                cached = self.cache.load(keys[i])
+                if cached is not None:
+                    results[i] = cached
+                    self.stats.hits += 1
+                    continue
+            pending.append(i)
+
+        # check_plan() above already warned once per degraded job, so the
+        # repeat from plan_layer inside the backend is suppressed here
+        # (worker processes emit theirs to their own stderr regardless).
+        if len(pending) > 1 and self.jobs > 1:
+            factory = backend_factory(self.backend_name)
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_execute_job, factory, jobs[i]): i for i in pending
+                }
+                for future in as_completed(futures):
+                    results[futures[future]] = future.result()
+        else:
+            backend = get_backend(self.backend_name)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", MappingFallbackWarning)
+                for i in pending:
+                    results[i] = backend.run(jobs[i])
+
+        for i in pending:
+            self.stats.misses += 1
+            if self.cache is not None:
+                assert keys[i] is not None
+                self.cache.store(keys[i], results[i])
+        return results  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------- #
+# Process-wide default engine
+# ---------------------------------------------------------------------- #
+_default_engine: Optional[SimEngine] = None
+
+
+def _env_jobs() -> int:
+    raw = os.environ.get("REPRO_JOBS", "1")
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigurationError(f"REPRO_JOBS must be an integer, got {raw!r}") from None
+
+
+def configure_default_engine(
+    backend: Optional[str] = None,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    cache_dir: Union[None, str, Path, ResultCache] = None,
+) -> SimEngine:
+    """Install the process-wide default engine (CLI flags land here).
+
+    Each ``None`` argument falls back to its environment default
+    (``REPRO_BACKEND``, ``REPRO_JOBS``, ``REPRO_NO_CACHE``); explicit
+    arguments win without the environment value even being parsed.
+    """
+    global _default_engine
+    _default_engine = SimEngine(
+        backend=backend if backend is not None else os.environ.get("REPRO_BACKEND", "reference"),
+        jobs=jobs if jobs is not None else _env_jobs(),
+        use_cache=use_cache
+        if use_cache is not None
+        else os.environ.get("REPRO_NO_CACHE", "") not in ("1", "true", "yes"),
+        cache_dir=cache_dir,
+    )
+    return _default_engine
+
+
+def default_engine() -> SimEngine:
+    """The process-wide engine, created from the environment on first use."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = configure_default_engine()
+    return _default_engine
+
+
+def reset_default_engine() -> None:
+    """Drop the installed default engine (tests / re-configuration)."""
+    global _default_engine
+    _default_engine = None

@@ -1,10 +1,14 @@
 """Exception hierarchy for the READ reproduction library.
 
 All library-specific errors derive from :class:`ReproError` so callers can
-catch a single base class at API boundaries.
+catch a single base class at API boundaries.  :func:`unknown_name_error`
+builds the uniform lookup-failure message used by every name registry
+(strategies, dataflows, corners, engine backends, ...).
 """
 
 from __future__ import annotations
+
+from typing import Iterable
 
 
 class ReproError(Exception):
@@ -29,3 +33,24 @@ class MappingError(ReproError):
 
 class TrainingError(ReproError):
     """Model training failed or was invoked in an invalid state."""
+
+
+class MappingFallbackWarning(UserWarning):
+    """A mapping request silently degraded to a simpler plan.
+
+    Emitted (instead of nothing) when e.g. cluster-then-reorder cannot
+    form balanced clusters and falls back to contiguous segmentation.
+    Pass ``strict=True`` to the planner to turn this into a
+    :class:`MappingError`.
+    """
+
+
+def unknown_name_error(kind: str, name: object, valid: Iterable[str]) -> ConfigurationError:
+    """Uniform 'unknown name' error used by every lookup-by-name helper.
+
+    Lists the valid names sorted and comma-separated so strategies,
+    dataflows, corners and engine backends all fail the same way.
+    """
+    return ConfigurationError(
+        f"unknown {kind} {name!r}; expected one of: {', '.join(sorted(valid))}"
+    )

@@ -9,7 +9,10 @@
   calibrated quantized network and the evaluation data.
 * :func:`measure_layer_ters` — the central measurement: replay each conv
   layer's real quantized operand stream through the systolic-array DTA
-  under every requested strategy and PVTA corner.
+  under every requested strategy and PVTA corner.  The measurement is
+  expressed as a batch of :class:`~repro.engine.SimJob` specs submitted
+  through the simulation engine, so every runner transparently gets
+  backend selection, multi-process fan-out and on-disk result caching.
 * small text-table rendering used by all runners and the CLI.
 """
 
@@ -22,8 +25,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..arch import AcceleratorConfig, SystolicArraySimulator, sample_pixel_rows
-from ..core import MappingStrategy, plan_layer
+from ..arch import AcceleratorConfig, sample_pixel_rows
+from ..core import MappingStrategy
+from ..engine import SimEngine, SimJob, cache_root, default_engine
 from ..errors import ConfigurationError
 from ..hw.variations import PvtaCondition
 from ..nn.datasets import load_dataset
@@ -106,8 +110,12 @@ _BUNDLE_CACHE: Dict[Tuple[str, str], TrainedBundle] = {}
 
 
 def cache_dir() -> Path:
-    """On-disk cache for trained parameters (repo-local, git-ignored)."""
-    path = Path(os.environ.get("REPRO_CACHE", Path(__file__).resolve().parents[3] / ".cache"))
+    """On-disk cache for trained parameters (repo-local, git-ignored).
+
+    Shares its root with the engine's simulation-result cache
+    (:func:`repro.engine.cache_root`, ``$REPRO_CACHE`` to override).
+    """
+    path = cache_root()
     path.mkdir(parents=True, exist_ok=True)
     return path
 
@@ -236,6 +244,7 @@ def measure_layer_ters(
     group_size: Optional[int] = None,
     max_pixels: int = 48,
     seed: int = 0,
+    engine: Optional[SimEngine] = None,
 ) -> Dict[str, List[LayerTerRecord]]:
     """Measure every conv layer's TER under each strategy and corner.
 
@@ -243,22 +252,44 @@ def measure_layer_ters(
     The activation streams are the *real* quantized intermediate tensors
     produced by forwarding ``x_images``, sub-sampled to ``max_pixels``
     GEMM rows per layer (an unbiased per-cycle average).
+
+    The (layer x strategy) measurements are one engine batch: with
+    ``engine`` unset the process default (CLI ``--backend/--jobs``,
+    ``REPRO_*`` environment) applies, repeated sweeps hit the on-disk
+    result cache, and all corners share one simulation pass per job.
     """
     config = config or AcceleratorConfig()
     group_size = group_size or config.cols
-    sim = SystolicArraySimulator(config)
+    engine = engine or default_engine()
     rng = np.random.default_rng(seed)
     streams = record_operand_streams(qnet, x_images)
 
-    results: Dict[str, List[LayerTerRecord]] = {s.value: [] for s in strategies}
+    jobs: List[SimJob] = []
     for qc in qnet.qconvs():
         cols = streams[qc.name]
         rows = sample_pixel_rows(cols.shape[0], max_pixels, rng)
         acts = cols[rows]
         wmat = qc.lowered_weight_matrix()
         for strategy in strategies:
-            plan = plan_layer(wmat, group_size=group_size, strategy=strategy, seed=seed)
-            reports = sim.run_gemm_corners(acts, wmat, corners, plan)
+            jobs.append(
+                SimJob(
+                    acts=acts,
+                    weights=wmat,
+                    corners=tuple(corners),
+                    group_size=group_size,
+                    strategy=strategy,
+                    seed=seed,
+                    config=config,
+                    label=f"{qc.name}:{strategy.value}",
+                )
+            )
+    all_reports = engine.run_many(jobs)
+
+    results: Dict[str, List[LayerTerRecord]] = {s.value: [] for s in strategies}
+    job_iter = iter(zip(jobs, all_reports))
+    for qc in qnet.qconvs():
+        for strategy in strategies:
+            _, reports = next(job_iter)
             any_report = next(iter(reports.values()))
             results[strategy.value].append(
                 LayerTerRecord(

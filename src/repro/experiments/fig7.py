@@ -15,8 +15,9 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..arch import AcceleratorConfig, SystolicArraySimulator, sample_pixel_rows
-from ..core import MappingStrategy, plan_layer
+from ..arch import AcceleratorConfig, sample_pixel_rows
+from ..core import MappingStrategy
+from ..engine import SimJob, default_engine
 from ..hw.variations import TER_EVAL_CORNER, PvtaCondition
 from .common import ExperimentScale, get_bundle, get_scale, record_operand_streams, render_table
 
@@ -59,14 +60,30 @@ def run(
     acts = cols[sample_pixel_rows(cols.shape[0], scale.ter_pixels, rng)]
     wmat = qc.lowered_weight_matrix()
 
-    sim = SystolicArraySimulator(AcceleratorConfig())
+    engine = default_engine()
+    config = AcceleratorConfig()
     usable_sizes = [g for g in group_sizes if g <= wmat.shape[1]]
+    jobs = [
+        SimJob(
+            acts=acts,
+            weights=wmat,
+            corners=(corner,),
+            group_size=group_size,
+            strategy=strategy,
+            criteria=criteria,
+            config=config,
+            label=f"fig7:{qc.name}:g{group_size}:{name}",
+        )
+        for group_size in usable_sizes
+        for name, strategy, criteria in VARIANTS
+    ]
+    all_reports = engine.run_many(jobs)
+
     ter: Dict[str, List[float]] = {name: [] for name, _, _ in VARIANTS}
+    report_iter = iter(all_reports)
     for group_size in usable_sizes:
-        for name, strategy, criteria in VARIANTS:
-            plan = plan_layer(wmat, group_size=group_size, strategy=strategy, criteria=criteria)
-            report = sim.run_gemm(acts, wmat, plan, corner)
-            ter[name].append(report.ter)
+        for name, _, _ in VARIANTS:
+            ter[name].append(next(report_iter)[corner.name].ter)
     return Fig7Result(
         layer=qc.name, group_sizes=list(usable_sizes), ter=ter, corner_name=corner.name
     )

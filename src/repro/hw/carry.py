@@ -72,29 +72,40 @@ class AdditionTrace:
 def longest_one_run(fields: np.ndarray, width: int) -> np.ndarray:
     """Length of the longest run of consecutive 1-bits in each field.
 
-    Vectorized with a ``width``-iteration scan (cheap: width <= 24 for the
-    paper's accumulator).
+    Vectorized with the shift-and identity (``f & (f >> 1)`` keeps exactly
+    the bits that start a run of length >= 2), iterating only up to the
+    longest run actually present instead of a fixed ``width`` scan.
 
     >>> int(longest_one_run(np.array([0b0110111]), 8))
     3
     """
     f = np.asarray(fields, dtype=np.int64)
-    run = np.zeros(f.shape, dtype=np.int64)
+    # Honor the register width: only bits [0, width) participate, exactly
+    # as the per-bit scan this replaces did (masks negative fields too).
+    cur = f & np.int64((1 << width) - 1)
     best = np.zeros(f.shape, dtype=np.int64)
-    for i in range(width):
-        b = (f >> i) & 1
-        run = (run + 1) * b
-        np.maximum(best, run, out=best)
+    length = 0
+    while np.any(cur):
+        length += 1
+        best[cur != 0] = length
+        cur &= cur >> 1
     return best
 
 
 def highest_set_bit(fields: np.ndarray, width: int) -> np.ndarray:
     """1-based position of the highest set bit of each field (0 if empty).
 
+    For the widths in use (<= 52) this is the float64 ``frexp`` exponent —
+    one vectorized pass, exact because every field value is an exactly
+    representable integer; wider fields fall back to a per-bit scan.
+
     >>> int(highest_set_bit(np.array([0b0010100]), 8))
     5
     """
-    f = np.asarray(fields, dtype=np.int64)
+    f = np.asarray(fields, dtype=np.int64) & np.int64((1 << width) - 1)
+    if width <= 52:
+        _, exponent = np.frexp(f.astype(np.float64))
+        return exponent.astype(np.int64)
     out = np.zeros(f.shape, dtype=np.int64)
     for i in range(width):
         mask = ((f >> i) & 1) == 1

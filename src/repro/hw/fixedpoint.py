@@ -154,11 +154,15 @@ def significant_bits(values: ArrayLike) -> np.ndarray:
     ``bit_length(|v|)`` with ``significant_bits(0) == 0``.
     """
     v = np.abs(np.asarray(values, dtype=np.int64))
+    # Magnitudes below 2**52 are exactly representable in float64, so the
+    # frexp exponent IS the bit length in one vectorized pass (and
+    # frexp(0) == 0).  Larger int64 magnitudes (never MAC operands, but
+    # the API is general) take the per-bit scan.
+    if v.size == 0 or int(v.max()) < (1 << 52):
+        _, exponent = np.frexp(v.astype(np.float64))
+        return exponent.astype(np.int64)
     out = np.zeros_like(v)
     nonzero = v > 0
-    # int64 magnitudes: log2 is exact enough for < 2**52, which covers all
-    # MAC operands; use frexp-free formulation via bit tricks instead to be
-    # safe for any int64.
     if np.any(nonzero):
         vv = v[nonzero]
         bits = np.zeros_like(vv)

@@ -33,6 +33,27 @@ class TestBitScans:
         assert longest_one_run(fields, 8).shape == (4, 8)
         assert highest_set_bit(fields, 8).shape == (4, 8)
 
+    def test_scans_honor_register_width(self):
+        # Out-of-contract inputs: only bits [0, width) may participate,
+        # like the per-bit scans these helpers replaced.
+        assert int(longest_one_run(np.array(-1), 24)) == 24  # low 24 bits all set
+        assert int(longest_one_run(np.array(1 << 30), 24)) == 0
+        assert int(highest_set_bit(np.array(1 << 30), 24)) == 0
+        assert int(highest_set_bit(np.array(-1), 24)) == 24
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=0, max_value=(1 << 24) - 1))
+    def test_scans_match_per_bit_reference(self, field):
+        f = np.array(field)
+        best, width = 0, 24
+        run = 0
+        for i in range(width):
+            run = run + 1 if (field >> i) & 1 else 0
+            best = max(best, run)
+        top = max((i + 1 for i in range(width) if (field >> i) & 1), default=0)
+        assert int(longest_one_run(f, width)) == best
+        assert int(highest_set_bit(f, width)) == top
+
 
 class TestAddTrace:
     def test_simple_sum(self):

@@ -10,7 +10,7 @@ from repro.core.pipeline import (
     plan_layer,
     plan_network,
 )
-from repro.errors import ConfigurationError, ShapeError
+from repro.errors import ConfigurationError, MappingError, MappingFallbackWarning, ShapeError
 
 
 @pytest.fixture()
@@ -52,9 +52,16 @@ class TestPlanLayer:
     def test_cluster_falls_back_when_indivisible(self):
         rng = np.random.default_rng(1)
         w = rng.integers(-5, 5, size=(8, 10))
-        plan = plan_layer(w, 4, MappingStrategy.CLUSTER_THEN_REORDER)
+        with pytest.warns(MappingFallbackWarning):  # the fallback is no longer silent
+            plan = plan_layer(w, 4, MappingStrategy.CLUSTER_THEN_REORDER)
         assert plan.clustering is None  # contiguous fallback
         assert [g.columns.size for g in plan.groups] == [4, 4, 2]
+
+    def test_cluster_fallback_strict_raises(self):
+        rng = np.random.default_rng(1)
+        w = rng.integers(-5, 5, size=(8, 10))
+        with pytest.raises(MappingError):
+            plan_layer(w, 4, MappingStrategy.CLUSTER_THEN_REORDER, strict=True)
 
     def test_strategy_accepts_string(self, weights):
         plan = plan_layer(weights, 4, "reorder")
