@@ -1,8 +1,10 @@
 #!/usr/bin/env python3
 """Layer-by-layer reliability report for a trained network.
 
-The workflow a deployment engineer would run before taping out a model
-onto a timing-speculative accelerator:
+The Fig. 8 measurement (layer-wise TERs under each mapping strategy at
+the aged + VT-5 % corner) recast as the workflow a deployment engineer
+would run before taping out a model onto a timing-speculative
+accelerator:
 
 1. train (or load from the cache) a quantized VGG-16 on the synthetic
    CIFAR-10-like dataset;

@@ -1,7 +1,9 @@
 #!/usr/bin/env python3
 """Quickstart: reduce the timing error rate of one layer with READ.
 
-Walks the core API end to end in under a minute:
+The single-layer pipeline of Sections II-IV (the same measurement Fig. 7
+sweeps over cluster sizes), on a synthetic layer so nothing needs
+training.  Walks the core API end to end in under a minute:
 
 1. build a synthetic quantized conv layer (weights + ReLU activations);
 2. map it onto the paper's 16x4 output-stationary systolic array with the

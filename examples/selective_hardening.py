@@ -18,9 +18,9 @@ from repro.core import MappingStrategy
 from repro.experiments import get_bundle, get_scale, measure_layer_ters, render_table
 from repro.experiments.common import macs_per_layer, ters_for_corner
 from repro.faults import (
-    FaultInjectionEvaluator,
     analyze_sensitivity,
     bers_from_layer_ters,
+    evaluate_bundle_under_injection,
     selective_hardening,
 )
 from repro.hw.variations import TER_EVAL_CORNER
@@ -54,24 +54,26 @@ def main() -> None:
         print(f"  {s.layer:16s} accuracy drop {s.drop * 100:5.1f}% at probe BER 5%")
     print()
 
-    # 3. compare the protection strategies
-    evaluator = FaultInjectionEvaluator(bundle.qnet, n_trials=scale.n_trials)
+    # 3. compare the protection strategies — each campaign is one engine
+    # InjectionJob (cached on disk, so re-running this study is instant)
+    def accuracy_under(bers):
+        return evaluate_bundle_under_injection(
+            bundle, bers, n_trials=scale.n_trials
+        ).mean_accuracy
+
     rows = []
-    rows.append(
-        ["baseline (unprotected)", evaluator.run(x, y, base_bers).mean_accuracy, "0%"]
-    )
+    rows.append(["baseline (unprotected)", accuracy_under(base_bers), "0%"])
     for k in (2, 4):
         hardened = selective_hardening(base_bers, report, k=k)
         rows.append(
             [
                 f"selective hardening k={k}",
-                evaluator.run(x, y, hardened).mean_accuracy,
+                accuracy_under(hardened),
                 f"{report.protection_cost(k) * 100:.0f}% of MACs duplicated",
             ]
         )
     rows.append(
-        ["READ cluster-then-reorder", evaluator.run(x, y, read_bers).mean_accuracy,
-         "~0% (address LUT only)"]
+        ["READ cluster-then-reorder", accuracy_under(read_bers), "~0% (address LUT only)"]
     )
     rows = [[name, f"{acc * 100:.1f}%", cost] for name, acc, cost in rows]
     print(render_table(["Technique", "Accuracy", "Hardware cost"], rows))

@@ -7,12 +7,18 @@ Usage::
     read-repro all --scale tiny --jobs 4 --backend fast
     python -m repro fig10 --no-cache
 
-Each experiment prints the same rows/series the paper reports (as text
-tables; this library is plot-free by design).  The engine flags apply to
-every simulation the runners submit: ``--backend`` selects the simulator
-implementation, ``--jobs`` fans cache-missing work out over worker
-processes, and ``--no-cache`` disables the on-disk result cache, so
-``read-repro all`` is one parallel, cache-reusing sweep.
+Each experiment subcommand prints the same rows/series the paper reports
+(as text tables; this library is plot-free by design) and carries its own
+``--help`` with a one-line description and an example invocation.  The
+engine flags apply to every job the runners submit: ``--backend`` selects
+the simulator implementation, ``--jobs`` fans cache-missing work out over
+worker processes, and ``--no-cache`` disables the on-disk result cache.
+
+``read-repro all`` goes through the orchestrator
+(:func:`repro.experiments.run_all`): the full job graph of all nine
+artifacts is planned up front, deduplicated across figures, executed as
+one parallel cache-reusing sweep, and written to an artifacts directory
+with a provenance ``manifest.json`` (see ``docs/experiments.md``).
 """
 
 from __future__ import annotations
@@ -22,11 +28,9 @@ import sys
 import time
 from typing import List, Optional
 
-from .engine import backend_names, configure_default_engine, default_engine
-from .experiments import RUNNERS, SCALES, get_scale
-
-#: Runners that take no scale argument (pure/static demos).
-_SCALELESS = {"table1", "fig3"}
+from .engine import backend_names, configure_default_engine
+from .experiments import RUNNERS, SCALES, get_scale, run_all
+from .experiments.orchestrator import SCALELESS
 
 
 def _positive_int(value: str) -> int:
@@ -36,23 +40,13 @@ def _positive_int(value: str) -> int:
     return jobs
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="read-repro",
-        description="Reproduce the tables and figures of the READ paper (DATE 2023).",
-    )
-    parser.add_argument(
-        "experiment",
-        choices=sorted(RUNNERS) + ["all", "list"],
-        help="which table/figure to regenerate ('all' runs everything, "
-        "'list' shows what is available)",
-    )
-    parser.add_argument(
-        "--scale",
-        choices=sorted(SCALES),
-        default=None,
-        help="experiment sizing (default: $REPRO_SCALE or 'small')",
-    )
+def _doc_line(module) -> str:
+    """First docstring line: the subcommand's one-line description."""
+    return (module.__doc__ or "").strip().splitlines()[0]
+
+
+def _engine_flags(parser: argparse.ArgumentParser) -> None:
+    """Engine flags shared by every work-submitting subcommand."""
     parser.add_argument(
         "--backend",
         choices=backend_names(),
@@ -64,24 +58,88 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=None,
         metavar="N",
-        help="worker processes for simulation jobs (default: $REPRO_JOBS or 1)",
+        help="worker processes for engine jobs (default: $REPRO_JOBS or 1)",
     )
     parser.add_argument(
         "--no-cache",
         action="store_true",
-        help="disable the on-disk simulation result cache",
+        help="disable the on-disk result cache",
     )
+
+
+def _scale_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="experiment sizing (default: $REPRO_SCALE or 'small')",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="read-repro",
+        description="Reproduce the tables and figures of the READ paper (DATE 2023).",
+        epilog="docs/experiments.md maps every artifact to its command and paper claim.",
+    )
+    subparsers = parser.add_subparsers(dest="experiment", required=True, metavar="experiment")
+
+    subparsers.add_parser(
+        "list",
+        help="show every available artifact with its description",
+        description="List every table/figure runner and its one-line description.",
+        epilog="example: read-repro list",
+    )
+
+    all_parser = subparsers.add_parser(
+        "all",
+        help="orchestrated sweep of every artifact + artifacts/manifest.json",
+        description=(
+            "Plan the full job graph of all artifacts, deduplicate shared jobs, "
+            "execute one parallel cache-reusing sweep, and write each rendering "
+            "plus a provenance manifest.json to the artifacts directory."
+        ),
+        epilog="example: read-repro all --scale tiny --backend fast --jobs 4",
+    )
+    _scale_flag(all_parser)
+    _engine_flags(all_parser)
+    all_parser.add_argument(
+        "--artifacts",
+        default=None,
+        metavar="DIR",
+        help="artifacts directory (default: artifacts/<scale>/)",
+    )
+
+    for name in sorted(RUNNERS):
+        sub = subparsers.add_parser(
+            name,
+            help=_doc_line(RUNNERS[name]),
+            description=_doc_line(RUNNERS[name]),
+            epilog=f"example: read-repro {name}"
+            + ("" if name in SCALELESS else " --scale small --backend fast --jobs 4"),
+        )
+        if name not in SCALELESS:
+            _scale_flag(sub)
+        _engine_flags(sub)
     return parser
 
 
 def run_one(name: str, scale_name: Optional[str]) -> str:
     """Execute one experiment and return its rendering."""
     module = RUNNERS[name]
-    if name in _SCALELESS:
+    if name in SCALELESS:
         result = module.run()
     else:
         result = module.run(scale=get_scale(scale_name))
     return module.render(result)
+
+
+def _print_engine_summary(engine) -> None:
+    print(
+        f"engine[{engine.backend_name}, jobs={engine.jobs}, "
+        f"cache={'on' if engine.cache is not None else 'off'}]: "
+        f"{engine.stats.describe()}"
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -89,25 +147,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name in sorted(RUNNERS):
-            doc = (RUNNERS[name].__doc__ or "").strip().splitlines()[0]
-            print(f"{name:8s} {doc}")
+            print(f"{name:8s} {_doc_line(RUNNERS[name])}")
         return 0
     engine = configure_default_engine(
         backend=args.backend,
         jobs=args.jobs,
         use_cache=False if args.no_cache else None,
     )
-    names = sorted(RUNNERS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        start = time.time()
-        print(f"=== {name} " + "=" * max(0, 60 - len(name)))
-        print(run_one(name, args.scale))
-        print(f"--- {name} done in {time.time() - start:.1f}s\n")
-    stats = default_engine().stats
-    print(
-        f"engine[{engine.backend_name}, jobs={engine.jobs}, "
-        f"cache={'on' if engine.cache is not None else 'off'}]: {stats.describe()}"
-    )
+    if args.experiment == "all":
+        scale = get_scale(args.scale)
+        result = run_all(scale=scale, artifacts_dir=args.artifacts, engine=engine)
+        for name, text in result.texts.items():
+            print(f"=== {name} " + "=" * max(0, 60 - len(name)))
+            print(text)
+            print()
+        _print_engine_summary(engine)
+        print(f"artifacts: {result.artifacts_dir}")
+        print(f"manifest:  {result.manifest_path}")
+        return 0
+    scale_name = getattr(args, "scale", None)
+    start = time.time()
+    print(f"=== {args.experiment} " + "=" * max(0, 60 - len(args.experiment)))
+    print(run_one(args.experiment, scale_name))
+    print(f"--- {args.experiment} done in {time.time() - start:.1f}s\n")
+    _print_engine_summary(engine)
     return 0
 
 

@@ -29,18 +29,20 @@ from .backends import (
     register_backend,
 )
 from .cache import CACHE_ENV_VAR, ResultCache, cache_root
-from .job import CACHE_SCHEMA_VERSION, SimJob, job_key
+from .job import CACHE_SCHEMA_VERSION, EngineJob, SimJob, feed_hash, job_key
 from .scheduler import (
     EngineStats,
     SimEngine,
     configure_default_engine,
     default_engine,
+    engine_context,
     reset_default_engine,
 )
 
 __all__ = [
     "CACHE_ENV_VAR",
     "CACHE_SCHEMA_VERSION",
+    "EngineJob",
     "EngineStats",
     "FastBackend",
     "ReferenceBackend",
@@ -53,6 +55,8 @@ __all__ = [
     "cache_root",
     "configure_default_engine",
     "default_engine",
+    "engine_context",
+    "feed_hash",
     "get_backend",
     "job_key",
     "register_backend",

@@ -1,5 +1,12 @@
 """Simulation backends: interchangeable executors for :class:`SimJob`.
 
+Backends implement the array-simulation half of the engine: a
+:class:`~repro.engine.job.SimJob` executes as ``backend.run(job)``,
+while other job kinds (e.g. :class:`~repro.faults.InjectionJob`) ignore
+the backend entirely — the scheduler hands every job the backend
+*factory* and lets the job decide (see
+:meth:`~repro.engine.job.EngineJob.execute`).
+
 Two backends ship with the engine:
 
 * ``reference`` — the cycle-behavioural

@@ -1,17 +1,22 @@
-"""Content-addressed on-disk cache for simulation results.
+"""Content-addressed on-disk cache for engine job results.
 
 Extends the repository's existing ``.cache/`` convention (which already
 holds trained-model snapshots) with a ``sim-results/`` namespace: each
-:class:`~repro.engine.job.SimJob` result is stored as one compressed
+:class:`~repro.engine.job.EngineJob` result is stored as one compressed
 ``.npz`` under ``<root>/sim-results/<key[:2]>/<key>.npz``, where ``key``
-is the job's SHA-256 content hash (:func:`~repro.engine.job.job_key`).
+is the job's SHA-256 content hash (e.g. :func:`~repro.engine.job.job_key`
+for :class:`~repro.engine.job.SimJob`).
+
+The cache itself is kind-agnostic: each job class supplies its own
+``serialize_result`` / ``deserialize_result`` pair, and entries carry a
+``__kind__`` tag so a key collision across job kinds (or a stale entry
+from an older layout) deserializes as a miss, never as garbage.
 
 Properties the test suite relies on:
 
-* **byte-identical round trips** — reports are plain float64 / int64 /
-  str fields plus the exact int64 outputs matrix, all of which ``.npz``
-  preserves bit-for-bit, so a cache hit is indistinguishable from a cold
-  run;
+* **byte-identical round trips** — results are plain float64 / int64 /
+  str fields plus exact integer matrices, all of which ``.npz`` preserves
+  bit-for-bit, so a cache hit is indistinguishable from a cold run;
 * **atomic writes** — entries are written to a temp file and
   ``os.replace``d into place, so concurrent workers never observe a
   partial entry;
@@ -24,11 +29,11 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Dict, Optional, Sequence
+from typing import Optional
 
 import numpy as np
 
-from ..arch.systolic import LayerReliabilityReport
+from .job import EngineJob
 
 #: Environment variable overriding the cache root (shared with the
 #: trained-model cache in :mod:`repro.experiments.common`).
@@ -41,7 +46,7 @@ def cache_root() -> Path:
 
 
 class ResultCache:
-    """Store/load per-job report dictionaries keyed by content hash."""
+    """Store/load per-job results keyed by content hash."""
 
     def __init__(self, root: Optional[Path] = None):
         base = Path(root) if root is not None else cache_root()
@@ -53,32 +58,40 @@ class ResultCache:
         """Cache-entry path for a job key (two-level fan-out by prefix)."""
         return self.root / key[:2] / f"{key}.npz"
 
-    def load(self, key: str) -> Optional[Dict[str, LayerReliabilityReport]]:
-        """Return the cached reports for ``key``, or None on a miss.
+    def load(self, key: str, job: EngineJob):
+        """Return the cached result for ``key``, or None on a miss.
 
-        Unreadable or schema-incompatible entries are deleted and treated
-        as misses.
+        ``job`` supplies the deserializer and the expected kind tag.
+        Unreadable, schema-incompatible or kind-mismatched entries are
+        deleted and treated as misses.
         """
         path = self.path_for(key)
         if not path.exists():
             return None
         try:
             with np.load(path, allow_pickle=False) as data:
-                return _deserialize(data)
+                # Entries written before job kinds existed carry no tag;
+                # they are all SimJob results.
+                kind = str(data["__kind__"]) if "__kind__" in data else "sim"
+                if kind != job.kind:
+                    raise ValueError(f"kind mismatch: entry {kind!r}, job {job.kind!r}")
+                return job.deserialize_result(data)
         except Exception:
             path.unlink(missing_ok=True)
             return None
 
-    def store(self, key: str, reports: Dict[str, LayerReliabilityReport]) -> Path:
-        """Atomically persist ``reports`` under ``key``; returns the path."""
+    def store(self, key: str, job: EngineJob, result) -> Path:
+        """Atomically persist ``result`` under ``key``; returns the path."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        arrays = dict(job.serialize_result(result))
+        arrays["__kind__"] = np.array(job.kind)
         # ".tmp" suffix (no ".npz") keeps in-flight writes invisible to
         # the "*/*.npz" globs used by __len__/clear().
         tmp = path.parent / f".{key}.{os.getpid()}.tmp"
         try:
             with open(tmp, "wb") as handle:
-                np.savez_compressed(handle, **_serialize(reports))
+                np.savez_compressed(handle, **arrays)
             os.replace(tmp, path)
         finally:
             tmp.unlink(missing_ok=True)
@@ -95,50 +108,3 @@ class ResultCache:
             entry.unlink(missing_ok=True)
             removed += 1
         return removed
-
-
-# ---------------------------------------------------------------------- #
-# (De)serialization
-# ---------------------------------------------------------------------- #
-def _serialize(reports: Dict[str, LayerReliabilityReport]) -> Dict[str, np.ndarray]:
-    """Flatten per-corner reports into npz-storable arrays.
-
-    All reports of one job share the outputs matrix (stored once); the
-    scalar fields are stored as aligned per-corner vectors.
-    """
-    if not reports:
-        raise ValueError("cannot serialize an empty report set")
-    ordered: Sequence[LayerReliabilityReport] = list(reports.values())
-    first = ordered[0]
-    return {
-        "corner_names": np.array([r.corner_name for r in ordered]),
-        "ter": np.array([r.ter for r in ordered], dtype=np.float64),
-        "sign_flip_rate": np.array([r.sign_flip_rate for r in ordered], dtype=np.float64),
-        "n_cycles": np.array([r.n_cycles for r in ordered], dtype=np.int64),
-        "mean_chain_length": np.array(
-            [r.mean_chain_length for r in ordered], dtype=np.float64
-        ),
-        "n_macs_per_output": np.array(
-            [r.n_macs_per_output for r in ordered], dtype=np.int64
-        ),
-        "strategy": np.array([r.strategy for r in ordered]),
-        "outputs": np.asarray(first.outputs, dtype=np.int64),
-    }
-
-
-def _deserialize(data) -> Dict[str, LayerReliabilityReport]:
-    outputs = np.asarray(data["outputs"], dtype=np.int64)
-    reports: Dict[str, LayerReliabilityReport] = {}
-    for i, name in enumerate(data["corner_names"]):
-        name = str(name)
-        reports[name] = LayerReliabilityReport(
-            ter=float(data["ter"][i]),
-            sign_flip_rate=float(data["sign_flip_rate"][i]),
-            n_cycles=int(data["n_cycles"][i]),
-            mean_chain_length=float(data["mean_chain_length"][i]),
-            outputs=outputs,
-            n_macs_per_output=int(data["n_macs_per_output"][i]),
-            strategy=str(data["strategy"][i]),
-            corner_name=name,
-        )
-    return reports

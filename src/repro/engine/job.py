@@ -1,11 +1,20 @@
-"""The unit of work of the simulation engine: one :class:`SimJob`.
+"""The units of work of the simulation engine.
 
-A job fully specifies one layer-level reliability simulation — operand
-matrices, mapping-plan parameters, accelerator configuration and the PVTA
-corners to analyze — in a picklable, content-addressable form.  The same
-job always produces the same :class:`~repro.arch.systolic.LayerReliabilityReport`
-set regardless of which backend executes it or on which worker process,
-which is what makes the on-disk result cache sound.
+:class:`EngineJob` is the scheduling contract: anything with a stable
+content hash (:meth:`EngineJob.key`), a submit-time diagnostic
+(:meth:`EngineJob.check`), an executor (:meth:`EngineJob.execute`) and a
+result (de)serializer can be batched through
+:class:`~repro.engine.scheduler.SimEngine`, cached on disk, and fanned
+out over worker processes.  Two job kinds ship with the repository:
+
+* :class:`SimJob` (here) — one layer-level reliability simulation;
+* :class:`~repro.faults.injection_job.InjectionJob` — one seeded
+  fault-injection accuracy campaign (Section V-C).
+
+A job fully specifies its computation in a picklable, content-addressable
+form: the same job always produces the same result regardless of which
+backend executes it or on which worker process, which is what makes the
+on-disk result cache sound.
 
 :func:`job_key` derives the cache key: a SHA-256 over a canonical
 serialization of every result-affecting field (array bytes and shapes,
@@ -17,12 +26,14 @@ relabelled jobs still hit the cache.
 from __future__ import annotations
 
 import hashlib
+from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
 from ..arch.config import AcceleratorConfig
+from ..arch.systolic import LayerReliabilityReport
 from ..core.pipeline import (
     LayerMappingPlan,
     MappingStrategy,
@@ -37,8 +48,61 @@ from ..hw.variations import PvtaCondition
 CACHE_SCHEMA_VERSION = 1
 
 
+class EngineJob(ABC):
+    """Abstract unit of engine work: hash, diagnose, execute, (de)serialize.
+
+    Subclasses must be picklable (jobs cross process boundaries) and
+    deterministic: ``key()`` must cover every result-affecting field, so
+    that equal keys imply bit-identical results on any worker.  ``label``
+    (and other provenance-only fields) stay out of the hash.
+    """
+
+    #: Kind tag stored alongside cached results (guards deserialization).
+    kind: str = ""
+    #: Free-form provenance, excluded from the content hash.
+    label: str = ""
+
+    @abstractmethod
+    def key(self) -> str:
+        """Content-addressed cache key (hex SHA-256)."""
+
+    def check(self) -> None:
+        """Submit-time diagnostic run in the submitting process.
+
+        The scheduler calls this for every job — including cache hits and
+        jobs that execute in worker processes (whose warnings/raises never
+        reach the caller).  Default: nothing to diagnose.
+        """
+
+    @abstractmethod
+    def execute(self, backend_factory: Callable[[], object]):
+        """Compute this job's result.
+
+        ``backend_factory`` builds the engine's configured simulation
+        backend; job kinds that do not simulate on the array ignore it.
+        """
+
+    @staticmethod
+    @abstractmethod
+    def serialize_result(result) -> Dict[str, np.ndarray]:
+        """Flatten a result into npz-storable arrays for the cache."""
+
+    @staticmethod
+    @abstractmethod
+    def deserialize_result(data):
+        """Inverse of :meth:`serialize_result` (byte-identical round trip)."""
+
+    def describe(self) -> Dict[str, object]:
+        """Provenance record for artifact manifests (kind, label, corners)."""
+        return {"kind": self.kind, "label": self.label, "corners": self.corner_names()}
+
+    def corner_names(self) -> List[str]:
+        """PVTA corners this job evaluates (empty when not corner-indexed)."""
+        return []
+
+
 @dataclass(frozen=True, eq=False)
-class SimJob:
+class SimJob(EngineJob):
     """One layer-level reliability simulation, ready to schedule.
 
     Attributes
@@ -68,6 +132,8 @@ class SimJob:
         Free-form provenance (layer name etc.).  **Not** part of the
         cache key.
     """
+
+    kind = "sim"
 
     acts: np.ndarray
     weights: np.ndarray
@@ -138,14 +204,83 @@ class SimJob:
             stacklevel=stacklevel,
         )
 
+    def check(self) -> None:
+        """Scheduler hook: diagnose degraded clustering when submitting."""
+        self.check_plan(stacklevel=4)
+
+    def execute(self, backend_factory: Callable[[], object]):
+        """Run this job on the engine's configured simulation backend."""
+        return backend_factory().run(self)
+
     def key(self) -> str:
         """Content-addressed cache key (hex SHA-256)."""
         return job_key(self)
+
+    def corner_names(self) -> List[str]:
+        return [corner.name for corner in self.corners]
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def serialize_result(
+        result: Dict[str, LayerReliabilityReport]
+    ) -> Dict[str, np.ndarray]:
+        """Flatten per-corner reports into npz-storable arrays.
+
+        All reports of one job share the outputs matrix (stored once); the
+        scalar fields are stored as aligned per-corner vectors.
+        """
+        if not result:
+            raise ValueError("cannot serialize an empty report set")
+        ordered = list(result.values())
+        first = ordered[0]
+        return {
+            "corner_names": np.array([r.corner_name for r in ordered]),
+            "ter": np.array([r.ter for r in ordered], dtype=np.float64),
+            "sign_flip_rate": np.array(
+                [r.sign_flip_rate for r in ordered], dtype=np.float64
+            ),
+            "n_cycles": np.array([r.n_cycles for r in ordered], dtype=np.int64),
+            "mean_chain_length": np.array(
+                [r.mean_chain_length for r in ordered], dtype=np.float64
+            ),
+            "n_macs_per_output": np.array(
+                [r.n_macs_per_output for r in ordered], dtype=np.int64
+            ),
+            "strategy": np.array([r.strategy for r in ordered]),
+            "outputs": np.asarray(first.outputs, dtype=np.int64),
+        }
+
+    @staticmethod
+    def deserialize_result(data) -> Dict[str, LayerReliabilityReport]:
+        outputs = np.asarray(data["outputs"], dtype=np.int64)
+        reports: Dict[str, LayerReliabilityReport] = {}
+        for i, name in enumerate(data["corner_names"]):
+            name = str(name)
+            reports[name] = LayerReliabilityReport(
+                ter=float(data["ter"][i]),
+                sign_flip_rate=float(data["sign_flip_rate"][i]),
+                n_cycles=int(data["n_cycles"][i]),
+                mean_chain_length=float(data["mean_chain_length"][i]),
+                outputs=outputs,
+                n_macs_per_output=int(data["n_macs_per_output"][i]),
+                strategy=str(data["strategy"][i]),
+                corner_name=name,
+            )
+        return reports
 
 
 # ---------------------------------------------------------------------- #
 # Stable hashing
 # ---------------------------------------------------------------------- #
+def feed_hash(h: "hashlib._Hash", *tokens: object) -> None:
+    """Feed ``repr``-serialized tokens into a hash, NUL-separated.
+
+    Shared by every :class:`EngineJob` kind's key derivation so all keys
+    use one canonical token encoding.
+    """
+    _feed(h, *tokens)
+
+
 def _feed(h: "hashlib._Hash", *tokens: object) -> None:
     for token in tokens:
         h.update(repr(token).encode("utf-8"))

@@ -1,14 +1,17 @@
 """Job scheduling: cache lookup, process-pool fan-out, result collection.
 
 :class:`SimEngine` is the single entry point the experiment runners use:
-hand it a batch of :class:`~repro.engine.job.SimJob`\\ s and it returns
-one report dictionary per job, in submission order.  Per job it
+hand it a batch of :class:`~repro.engine.job.EngineJob`\\ s (layer
+simulations, fault-injection campaigns, or a mix) and it returns one
+result per job, in submission order.  Per job it
 
 1. consults the on-disk :class:`~repro.engine.cache.ResultCache` (keyed
-   by the job's content hash);
-2. dispatches the misses to the configured backend — inline when
-   ``jobs == 1``, over a ``concurrent.futures.ProcessPoolExecutor``
-   otherwise (TER evaluation is embarrassingly parallel across jobs);
+   by the job's content hash) and **deduplicates** same-key jobs within
+   the batch so shared work is computed once;
+2. dispatches the misses — inline when ``jobs == 1``, over a
+   ``concurrent.futures.ProcessPoolExecutor`` otherwise (both TER
+   evaluation and injection trials are embarrassingly parallel across
+   jobs);
 3. stores fresh results back into the cache.
 
 A process-wide *default engine* carries the CLI's ``--backend`` /
@@ -22,27 +25,26 @@ from __future__ import annotations
 import os
 import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from ..arch.systolic import LayerReliabilityReport
 from ..errors import ConfigurationError, MappingFallbackWarning
 from .backends import SimulationBackend, backend_factory, get_backend
 from .cache import ResultCache
-from .job import SimJob
-
-Reports = Dict[str, LayerReliabilityReport]
+from .job import EngineJob
 
 
-def _execute_job(factory: Callable[[], SimulationBackend], job: SimJob) -> Reports:
+def _execute_job(factory: Callable[[], SimulationBackend], job: EngineJob):
     """Top-level worker entry point (must be picklable for the pool).
 
     Receives the backend *factory* rather than its registry name so
     spawned workers — which only know the built-in registrations — can
-    run third-party backends registered in the submitting process.
+    run third-party backends registered in the submitting process.  Job
+    kinds that do not simulate on the array ignore the factory.
     """
-    return factory().run(job)
+    return job.execute(factory)
 
 
 @dataclass
@@ -51,13 +53,28 @@ class EngineStats:
 
     hits: int = 0
     misses: int = 0
+    deduped: int = 0
 
     @property
     def total(self) -> int:
-        return self.hits + self.misses
+        return self.hits + self.misses + self.deduped
 
     def describe(self) -> str:
-        return f"{self.total} job(s): {self.hits} cache hit(s), {self.misses} simulated"
+        return (
+            f"{self.total} job(s): {self.hits} cache hit(s), "
+            f"{self.deduped} deduplicated, {self.misses} simulated"
+        )
+
+    def snapshot(self) -> "EngineStats":
+        return EngineStats(hits=self.hits, misses=self.misses, deduped=self.deduped)
+
+    def since(self, earlier: "EngineStats") -> "EngineStats":
+        """Counter deltas accumulated after ``earlier`` was snapshotted."""
+        return EngineStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            deduped=self.deduped - earlier.deduped,
+        )
 
 
 class SimEngine:
@@ -67,7 +84,8 @@ class SimEngine:
     ----------
     backend:
         Registered backend name (``"reference"`` or ``"fast"``; see
-        :func:`repro.engine.backend_names`).
+        :func:`repro.engine.backend_names`).  Only consulted by job kinds
+        that simulate on the array (:class:`~repro.engine.job.SimJob`).
     jobs:
         Worker processes for cache-missing work.  ``1`` (default) runs
         inline; higher values fan out over a process pool.
@@ -100,41 +118,52 @@ class SimEngine:
         self.stats = EngineStats()
 
     # ------------------------------------------------------------------ #
-    def run(self, job: SimJob) -> Reports:
+    def run(self, job: EngineJob):
         """Execute (or recall) a single job."""
         return self.run_many([job])[0]
 
-    def run_many(self, jobs: Sequence[SimJob]) -> List[Reports]:
+    def run_many(self, jobs: Sequence[EngineJob]) -> List[object]:
         """Execute a batch of jobs; results come back in submission order.
 
-        Cache hits are returned without simulating; misses run on the
-        configured backend, in parallel when ``self.jobs > 1``.
+        Cache hits are returned without computing; within the batch,
+        same-key jobs are deduplicated (computed once, shared); the
+        remaining misses run on the configured backend, in parallel when
+        ``self.jobs > 1``.  Deduplication requires the cache to be
+        enabled — with ``use_cache=False`` no keys are derived and every
+        job is executed as submitted.
         """
         jobs = list(jobs)
-        results: List[Optional[Reports]] = [None] * len(jobs)
+        results: List[Optional[object]] = [None] * len(jobs)
         pending: List[int] = []
         keys: List[Optional[str]] = [None] * len(jobs)
+        first_index_for_key: Dict[str, int] = {}
+        duplicate_of: Dict[int, int] = {}
 
         for i, job in enumerate(jobs):
-            # Diagnose degraded clustering in the submitting process for
+            # Run submit-time diagnostics in the submitting process for
             # every job: strict jobs raise up front, non-strict ones warn
-            # even when the result is a cache hit or simulates in a
-            # worker process (whose warnings never reach the caller).
-            job.check_plan()
+            # even when the result is a cache hit or computes in a worker
+            # process (whose warnings never reach the caller).
+            job.check()
             if self.cache is not None:
                 keys[i] = job.key()
-                cached = self.cache.load(keys[i])
+                if keys[i] in first_index_for_key:
+                    duplicate_of[i] = first_index_for_key[keys[i]]
+                    continue
+                cached = self.cache.load(keys[i], job)
                 if cached is not None:
                     results[i] = cached
+                    first_index_for_key[keys[i]] = i
                     self.stats.hits += 1
                     continue
+                first_index_for_key[keys[i]] = i
             pending.append(i)
 
-        # check_plan() above already warned once per degraded job, so the
+        # check() above already warned once per degraded job, so the
         # repeat from plan_layer inside the backend is suppressed here
         # (worker processes emit theirs to their own stderr regardless).
+        factory = backend_factory(self.backend_name)
         if len(pending) > 1 and self.jobs > 1:
-            factory = backend_factory(self.backend_name)
             workers = min(self.jobs, len(pending))
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
@@ -143,17 +172,19 @@ class SimEngine:
                 for future in as_completed(futures):
                     results[futures[future]] = future.result()
         else:
-            backend = get_backend(self.backend_name)
             with warnings.catch_warnings():
                 warnings.simplefilter("ignore", MappingFallbackWarning)
                 for i in pending:
-                    results[i] = backend.run(jobs[i])
+                    results[i] = jobs[i].execute(factory)
 
         for i in pending:
             self.stats.misses += 1
             if self.cache is not None:
                 assert keys[i] is not None
-                self.cache.store(keys[i], results[i])
+                self.cache.store(keys[i], jobs[i], results[i])
+        for i, source in duplicate_of.items():
+            results[i] = results[source]
+            self.stats.deduped += 1
         return results  # type: ignore[return-value]
 
 
@@ -207,3 +238,20 @@ def reset_default_engine() -> None:
     """Drop the installed default engine (tests / re-configuration)."""
     global _default_engine
     _default_engine = None
+
+
+@contextmanager
+def engine_context(engine: SimEngine):
+    """Temporarily install ``engine`` as the process default.
+
+    The orchestrator uses this so every runner's ``default_engine()``
+    call resolves to the sweep's engine, then restores whatever was
+    installed before (including "nothing").
+    """
+    global _default_engine
+    previous = _default_engine
+    _default_engine = engine
+    try:
+        yield engine
+    finally:
+        _default_engine = previous

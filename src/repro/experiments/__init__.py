@@ -21,7 +21,8 @@ from .common import (
     render_table,
 )
 
-#: Registry used by the CLI: name -> module with run()/render()/main().
+#: Registry used by the CLI and the orchestrator: name -> module with
+#: run()/render()/main() and plan()/plan_injections() job builders.
 RUNNERS = {
     "table1": table1,
     "fig2": fig2,
@@ -34,6 +35,9 @@ RUNNERS = {
     "fig11": fig11,
 }
 
+from . import orchestrator  # noqa: E402  (needs RUNNERS above)
+from .orchestrator import OrchestratorResult, run_all  # noqa: E402
+
 __all__ = [
     "ALL_STRATEGIES",
     "MODEL_RECIPES",
@@ -41,6 +45,7 @@ __all__ = [
     "SCALES",
     "ExperimentScale",
     "LayerTerRecord",
+    "OrchestratorResult",
     "TrainedBundle",
     "fig10",
     "fig11",
@@ -54,7 +59,9 @@ __all__ = [
     "get_bundle",
     "get_scale",
     "measure_layer_ters",
+    "orchestrator",
     "record_operand_streams",
     "render_table",
+    "run_all",
     "table1",
 ]

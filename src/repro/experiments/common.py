@@ -18,6 +18,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import os
 from dataclasses import dataclass
 from pathlib import Path
@@ -60,6 +61,12 @@ class ExperimentScale:
 
 
 SCALES: Dict[str, ExperimentScale] = {
+    # smallest: smoke tests, CI example runs, orchestrator tests — trains
+    # in seconds and proves the plumbing, not the paper's numbers
+    "micro": ExperimentScale(
+        name="micro", n_train=192, n_test=64, epochs=1, width=0.125,
+        ter_pixels=12, ter_images=1, inject_n=32, n_trials=2,
+    ),
     "tiny": ExperimentScale(
         name="tiny", n_train=384, n_test=128, epochs=3, width=0.125,
         ter_pixels=24, ter_images=2, inject_n=64, n_trials=2,
@@ -106,7 +113,7 @@ class TrainedBundle:
     scale: ExperimentScale
 
 
-_BUNDLE_CACHE: Dict[Tuple[str, str], TrainedBundle] = {}
+_BUNDLE_CACHE: Dict[Tuple[str, str, int], TrainedBundle] = {}
 
 
 def cache_dir() -> Path:
@@ -135,8 +142,18 @@ def _state_arrays(model: ClassifierNetwork) -> Dict[str, np.ndarray]:
 
 
 def save_model_state(model: ClassifierNetwork, path: Path) -> None:
-    """Persist a trained model's parameters to ``path`` (npz)."""
-    np.savez_compressed(path, **_state_arrays(model))
+    """Persist a trained model's parameters to ``path`` (npz).
+
+    Written atomically (temp file + ``os.replace``) so pool workers that
+    race to train the same missing bundle never observe a partial file.
+    """
+    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(handle, **_state_arrays(model))
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
 
 
 def load_model_state(model: ClassifierNetwork, path: Path) -> None:
@@ -160,7 +177,7 @@ def get_bundle(recipe: str, scale: Optional[ExperimentScale] = None, seed: int =
     training run.
     """
     scale = scale or get_scale()
-    key = (recipe, scale.name)
+    key = (recipe, scale.name, seed)
     if key in _BUNDLE_CACHE:
         return _BUNDLE_CACHE[key]
     if recipe not in MODEL_RECIPES:
@@ -235,6 +252,68 @@ def record_operand_streams(
         qnet.set_recording(False)
 
 
+def layer_sample_rng(seed: int, layer_name: str) -> np.random.Generator:
+    """Deterministic per-layer RNG for GEMM-row sub-sampling.
+
+    Seeded by ``(seed, sha256(layer_name))`` — *not* by draw order — so
+    any runner sampling the same layer with the same ``seed`` and
+    ``max_pixels`` builds byte-identical operand matrices.  That is what
+    lets fig2/fig7/fig8/fig10/fig11 share layer-TER cache entries instead
+    of each simulating its own copy of the same measurement.
+    """
+    digest = hashlib.sha256(layer_name.encode("utf-8")).digest()
+    return np.random.default_rng([seed, int.from_bytes(digest[:8], "little")])
+
+
+def sample_layer_acts(
+    streams: Dict[str, np.ndarray], layer_name: str, max_pixels: int, seed: int = 0
+) -> np.ndarray:
+    """Sub-sample one layer's recorded operand stream to ``max_pixels`` rows."""
+    cols = streams[layer_name]
+    rows = sample_pixel_rows(cols.shape[0], max_pixels, layer_sample_rng(seed, layer_name))
+    return cols[rows]
+
+
+def layer_ter_jobs(
+    qnet: QuantizedNetwork,
+    streams: Dict[str, np.ndarray],
+    corners: Sequence[PvtaCondition],
+    strategies: Sequence[MappingStrategy] = ALL_STRATEGIES,
+    config: Optional[AcceleratorConfig] = None,
+    group_size: Optional[int] = None,
+    max_pixels: int = 48,
+    seed: int = 0,
+    label_prefix: str = "",
+) -> List[SimJob]:
+    """Build the (layer x strategy) job batch for one network's streams.
+
+    Job order is layer-major (all strategies of layer 0, then layer 1,
+    ...), matching how :func:`measure_layer_ters` re-assembles records.
+    Every runner that measures layer TERs goes through this builder so
+    identical measurements hash to identical cache keys across figures.
+    """
+    config = config or AcceleratorConfig()
+    group_size = group_size or config.cols
+    jobs: List[SimJob] = []
+    for qc in qnet.qconvs():
+        acts = sample_layer_acts(streams, qc.name, max_pixels, seed)
+        wmat = qc.lowered_weight_matrix()
+        for strategy in strategies:
+            jobs.append(
+                SimJob(
+                    acts=acts,
+                    weights=wmat,
+                    corners=tuple(corners),
+                    group_size=group_size,
+                    strategy=strategy,
+                    seed=seed,
+                    config=config,
+                    label=f"{label_prefix}{qc.name}:{strategy.value}",
+                )
+            )
+    return jobs
+
+
 def measure_layer_ters(
     qnet: QuantizedNetwork,
     x_images: np.ndarray,
@@ -258,31 +337,18 @@ def measure_layer_ters(
     ``REPRO_*`` environment) applies, repeated sweeps hit the on-disk
     result cache, and all corners share one simulation pass per job.
     """
-    config = config or AcceleratorConfig()
-    group_size = group_size or config.cols
     engine = engine or default_engine()
-    rng = np.random.default_rng(seed)
     streams = record_operand_streams(qnet, x_images)
-
-    jobs: List[SimJob] = []
-    for qc in qnet.qconvs():
-        cols = streams[qc.name]
-        rows = sample_pixel_rows(cols.shape[0], max_pixels, rng)
-        acts = cols[rows]
-        wmat = qc.lowered_weight_matrix()
-        for strategy in strategies:
-            jobs.append(
-                SimJob(
-                    acts=acts,
-                    weights=wmat,
-                    corners=tuple(corners),
-                    group_size=group_size,
-                    strategy=strategy,
-                    seed=seed,
-                    config=config,
-                    label=f"{qc.name}:{strategy.value}",
-                )
-            )
+    jobs = layer_ter_jobs(
+        qnet,
+        streams,
+        corners,
+        strategies=strategies,
+        config=config,
+        group_size=group_size,
+        max_pixels=max_pixels,
+        seed=seed,
+    )
     all_reports = engine.run_many(jobs)
 
     results: Dict[str, List[LayerTerRecord]] = {s.value: [] for s in strategies}

@@ -6,6 +6,14 @@ injection inference -> accuracy.  The paper's qualitative result: the
 baseline collapses under aging (especially combined with VT fluctuation)
 while reorder and cluster-then-reorder retain accuracy over the whole
 range.
+
+Both stages are engine workloads: the layer TERs are a
+:class:`~repro.engine.SimJob` batch and every (strategy, corner) cell of
+the accuracy grid is one :class:`~repro.faults.InjectionJob`, so the
+whole figure — simulation and injection — runs as two cached, parallel
+``run_many`` submissions with no bespoke loops.
+
+Example: ``read-repro fig10 --scale small --backend fast --jobs 4``
 """
 
 from __future__ import annotations
@@ -14,18 +22,24 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..core import MappingStrategy
-from ..faults import FaultInjectionEvaluator, bers_from_layer_ters
+from ..engine import EngineJob, default_engine
+from ..faults import InjectionJob, bers_from_layer_ters, injection_job_for_bundle
 from ..hw.variations import PAPER_CORNERS, PvtaCondition
 from .common import (
     ALL_STRATEGIES,
     ExperimentScale,
     get_bundle,
     get_scale,
+    layer_ter_jobs,
     macs_per_layer,
     measure_layer_ters,
+    record_operand_streams,
     render_table,
     ters_for_corner,
 )
+
+#: The two networks of Fig. 10.
+DEFAULT_RECIPES = ("vgg16_cifar10", "resnet18_cifar10")
 
 
 @dataclass(frozen=True)
@@ -47,15 +61,26 @@ class Fig10Result:
     grids: List[AccuracyGrid]
 
 
-def measure_accuracy_grid(
+def corner_seed(corner: PvtaCondition) -> int:
+    """Stable per-corner base seed (str hash is process-salted, avoid it)."""
+    return sum(ord(ch) for ch in corner.name) % 10000
+
+
+def injection_jobs_for_grid(
     recipe: str,
     scale: ExperimentScale,
     corners: Sequence[PvtaCondition] = PAPER_CORNERS,
     strategies: Sequence[MappingStrategy] = ALL_STRATEGIES,
     topk: int = 1,
     only_layers: Optional[Sequence[str]] = None,
-) -> AccuracyGrid:
-    """Accuracy grid of one network (shared with Fig. 11)."""
+    figure: str = "fig10",
+) -> List[InjectionJob]:
+    """One :class:`InjectionJob` per (strategy, corner) cell of a grid.
+
+    Derives the BER tables from the layer-TER measurement (an engine
+    batch itself, so warm runs only touch the cache), in strategy-major
+    order matching :func:`measure_accuracy_grid`'s assembly.
+    """
     bundle = get_bundle(recipe, scale)
     records = measure_layer_ters(
         bundle.qnet,
@@ -65,21 +90,57 @@ def measure_accuracy_grid(
         max_pixels=scale.ter_pixels,
     )
     n_macs = macs_per_layer(records)
-    evaluator = FaultInjectionEvaluator(bundle.qnet, n_trials=scale.n_trials)
-    x = bundle.x_test[: scale.inject_n]
-    y = bundle.y_test[: scale.inject_n]
-
-    accuracy: Dict[str, List[float]] = {s.value: [] for s in strategies}
-    mean_ber: Dict[str, List[float]] = {s.value: [] for s in strategies}
+    jobs: List[InjectionJob] = []
     for strategy in strategies:
         for corner in corners:
             ters = ters_for_corner(records, strategy, corner.name)
             bers = bers_from_layer_ters(ters, n_macs, only_layers=only_layers)
-            # stable per-corner seed (str hash is process-salted, avoid it)
-            corner_seed = sum(ord(ch) for ch in corner.name) % 10000
-            outcome = evaluator.run(x, y, bers, topk=topk, base_seed=corner_seed)
-            accuracy[strategy.value].append(outcome.mean_accuracy)
-            mean_ber[strategy.value].append(outcome.mean_ber)
+            jobs.append(
+                injection_job_for_bundle(
+                    bundle,
+                    bers,
+                    topk=topk,
+                    base_seed=corner_seed(corner),
+                    corner=corner.name,
+                    label=f"{figure}:{recipe}:{strategy.value}:{corner.name}",
+                )
+            )
+    return jobs
+
+
+def measure_accuracy_grid(
+    recipe: str,
+    scale: ExperimentScale,
+    corners: Sequence[PvtaCondition] = PAPER_CORNERS,
+    strategies: Sequence[MappingStrategy] = ALL_STRATEGIES,
+    topk: int = 1,
+    only_layers: Optional[Sequence[str]] = None,
+    figure: str = "fig10",
+) -> AccuracyGrid:
+    """Accuracy grid of one network (shared with Fig. 11).
+
+    All (strategy, corner) campaigns go out as one engine batch: the
+    *Ideal* columns of the three strategies deduplicate to a single job
+    (their BER tables are identically zero), and ``--jobs N`` fans the
+    rest over worker processes.
+    """
+    bundle = get_bundle(recipe, scale)
+    jobs = injection_jobs_for_grid(
+        recipe, scale, corners, strategies, topk, only_layers, figure
+    )
+    results = default_engine().run_many(jobs)
+
+    accuracy: Dict[str, List[float]] = {s.value: [] for s in strategies}
+    mean_ber: Dict[str, List[float]] = {s.value: [] for s in strategies}
+    job_iter = iter(zip(jobs, results))
+    for strategy in strategies:
+        for _corner in corners:
+            job, result = next(job_iter)
+            table = job.ber_table()
+            accuracy[strategy.value].append(result.mean_accuracy)
+            mean_ber[strategy.value].append(
+                float(sum(table.values()) / len(table)) if table else 0.0
+            )
     return AccuracyGrid(
         recipe=recipe,
         corners=[c.name for c in corners],
@@ -90,13 +151,48 @@ def measure_accuracy_grid(
     )
 
 
+def plan(
+    scale: Optional[ExperimentScale] = None,
+    recipes: Optional[List[str]] = None,
+) -> List[EngineJob]:
+    """Phase-1 engine jobs: the layer-TER measurements of both networks."""
+    scale = scale or get_scale()
+    jobs: List[EngineJob] = []
+    for recipe in recipes or DEFAULT_RECIPES:
+        bundle = get_bundle(recipe, scale)
+        streams = record_operand_streams(bundle.qnet, bundle.x_test[: scale.ter_images])
+        jobs.extend(
+            layer_ter_jobs(
+                bundle.qnet,
+                streams,
+                PAPER_CORNERS,
+                strategies=ALL_STRATEGIES,
+                max_pixels=scale.ter_pixels,
+                label_prefix=f"fig10:{recipe}:",
+            )
+        )
+    return jobs
+
+
+def plan_injections(
+    scale: Optional[ExperimentScale] = None,
+    recipes: Optional[List[str]] = None,
+) -> List[EngineJob]:
+    """Phase-2 engine jobs: the injection campaigns (need phase-1 TERs)."""
+    scale = scale or get_scale()
+    jobs: List[EngineJob] = []
+    for recipe in recipes or DEFAULT_RECIPES:
+        jobs.extend(injection_jobs_for_grid(recipe, scale))
+    return jobs
+
+
 def run(
     scale: Optional[ExperimentScale] = None,
     recipes: Optional[List[str]] = None,
 ) -> Fig10Result:
     """Fig. 10: top-1 accuracy of VGG-16 and ResNet-18 on CIFAR-10-like."""
     scale = scale or get_scale()
-    recipes = recipes or ["vgg16_cifar10", "resnet18_cifar10"]
+    recipes = list(recipes or DEFAULT_RECIPES)
     grids = [measure_accuracy_grid(recipe, scale) for recipe in recipes]
     return Fig10Result(grids=grids)
 

@@ -5,6 +5,11 @@ accuracy, with errors injected only into the vulnerable early layers —
 exactly the paper's cost-saving protocol ("to speed up the simulation, we
 injected errors only into several vulnerable layers (those closer to the
 inputs)").
+
+Like Fig. 10, both the layer-TER measurements and the per-(strategy,
+corner) injection campaigns are engine job batches.
+
+Example: ``read-repro fig11 --scale small --backend fast --jobs 4``
 """
 
 from __future__ import annotations
@@ -12,8 +17,25 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from .common import ExperimentScale, get_bundle, get_scale
-from .fig10 import AccuracyGrid, measure_accuracy_grid, render_grid
+from ..engine import EngineJob
+from ..hw.variations import PAPER_CORNERS
+from .common import (
+    ALL_STRATEGIES,
+    ExperimentScale,
+    get_bundle,
+    get_scale,
+    layer_ter_jobs,
+    record_operand_streams,
+)
+from .fig10 import (
+    AccuracyGrid,
+    injection_jobs_for_grid,
+    measure_accuracy_grid,
+    render_grid,
+)
+
+#: The two larger benchmarks of Fig. 11.
+DEFAULT_RECIPES = ("vgg16_cifar100", "resnet34_imagenet32")
 
 
 @dataclass(frozen=True)
@@ -24,6 +46,57 @@ class Fig11Result:
     injected_layers: int
 
 
+def _early_layers(recipe: str, scale: ExperimentScale, n: int) -> List[str]:
+    """Names of the first ``n`` conv layers (the paper's injection set)."""
+    bundle = get_bundle(recipe, scale)
+    return [qc.name for qc in bundle.qnet.qconvs()[:n]]
+
+
+def plan(
+    scale: Optional[ExperimentScale] = None,
+    recipes: Optional[List[str]] = None,
+) -> List[EngineJob]:
+    """Phase-1 engine jobs: layer-TER measurements of both benchmarks."""
+    scale = scale or get_scale()
+    jobs: List[EngineJob] = []
+    for recipe in recipes or DEFAULT_RECIPES:
+        bundle = get_bundle(recipe, scale)
+        streams = record_operand_streams(bundle.qnet, bundle.x_test[: scale.ter_images])
+        jobs.extend(
+            layer_ter_jobs(
+                bundle.qnet,
+                streams,
+                PAPER_CORNERS,
+                strategies=ALL_STRATEGIES,
+                max_pixels=scale.ter_pixels,
+                label_prefix=f"fig11:{recipe}:",
+            )
+        )
+    return jobs
+
+
+def plan_injections(
+    scale: Optional[ExperimentScale] = None,
+    recipes: Optional[List[str]] = None,
+    n_vulnerable_layers: int = 4,
+    topk: int = 3,
+) -> List[EngineJob]:
+    """Phase-2 engine jobs: the top-k early-layer injection campaigns."""
+    scale = scale or get_scale()
+    jobs: List[EngineJob] = []
+    for recipe in recipes or DEFAULT_RECIPES:
+        jobs.extend(
+            injection_jobs_for_grid(
+                recipe,
+                scale,
+                topk=topk,
+                only_layers=_early_layers(recipe, scale, n_vulnerable_layers),
+                figure="fig11",
+            )
+        )
+    return jobs
+
+
 def run(
     scale: Optional[ExperimentScale] = None,
     recipes: Optional[List[str]] = None,
@@ -32,14 +105,17 @@ def run(
 ) -> Fig11Result:
     """Fig. 11 with injection restricted to the first ``n`` conv layers."""
     scale = scale or get_scale()
-    recipes = recipes or ["vgg16_cifar100", "resnet34_imagenet32"]
-    grids = []
-    for recipe in recipes:
-        bundle = get_bundle(recipe, scale)
-        early = [qc.name for qc in bundle.qnet.qconvs()[:n_vulnerable_layers]]
-        grids.append(
-            measure_accuracy_grid(recipe, scale, topk=topk, only_layers=early)
+    recipes = list(recipes or DEFAULT_RECIPES)
+    grids = [
+        measure_accuracy_grid(
+            recipe,
+            scale,
+            topk=topk,
+            only_layers=_early_layers(recipe, scale, n_vulnerable_layers),
+            figure="fig11",
         )
+        for recipe in recipes
+    ]
     return Fig11Result(grids=grids, injected_layers=n_vulnerable_layers)
 
 

@@ -10,23 +10,26 @@ conv layer of a trained VGG-16, under both dataflows and all three
 mapping strategies (which is what varies the sign-flip rate), measured at
 the TER evaluation corner.  The runner reports the Pearson correlation of
 log(sign-flip rate) vs. log(TER).
+
+Example: ``read-repro fig2 --scale small --backend fast --jobs 4``
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
-from ..arch import AcceleratorConfig, Dataflow, sample_pixel_rows
-from ..engine import SimJob, default_engine
-from ..hw.variations import TER_EVAL_CORNER
+from ..arch import AcceleratorConfig, Dataflow
+from ..engine import EngineJob, default_engine
+from ..hw.variations import PAPER_CORNERS, TER_EVAL_CORNER
 from .common import (
     ALL_STRATEGIES,
     ExperimentScale,
     get_bundle,
     get_scale,
+    layer_ter_jobs,
     record_operand_streams,
     render_table,
 )
@@ -51,6 +54,34 @@ class Fig2Result:
     correlation: float
 
 
+def plan(scale: Optional[ExperimentScale] = None, recipe: str = "vgg16_cifar10") -> List[EngineJob]:
+    """The engine jobs this figure submits (layer-major, OS then WS).
+
+    Jobs are measured at all ``PAPER_CORNERS`` even though the figure only
+    reads the evaluation corner: a multi-corner job costs one simulation
+    pass either way, and it makes the output-stationary half of this
+    batch byte-identical to the fig8/fig10 layer-TER jobs — one shared
+    cache entry instead of three.
+    """
+    scale = scale or get_scale()
+    bundle = get_bundle(recipe, scale)
+    streams = record_operand_streams(bundle.qnet, bundle.x_test[: scale.ter_images])
+    jobs: List[EngineJob] = []
+    for dataflow in (Dataflow.OUTPUT_STATIONARY, Dataflow.WEIGHT_STATIONARY):
+        jobs.extend(
+            layer_ter_jobs(
+                bundle.qnet,
+                streams,
+                PAPER_CORNERS,
+                strategies=ALL_STRATEGIES,
+                config=AcceleratorConfig(dataflow=dataflow),
+                max_pixels=scale.ter_pixels,
+                label_prefix=f"fig2:{dataflow.value}:",
+            )
+        )
+    return jobs
+
+
 def run(scale: Optional[ExperimentScale] = None, recipe: str = "vgg16_cifar10") -> Fig2Result:
     """Collect the scatter and compute the correlation.
 
@@ -59,45 +90,25 @@ def run(scale: Optional[ExperimentScale] = None, recipe: str = "vgg16_cifar10") 
     """
     scale = scale or get_scale()
     bundle = get_bundle(recipe, scale)
-    streams = record_operand_streams(bundle.qnet, bundle.x_test[: scale.ter_images])
-    rng = np.random.default_rng(0)
-    engine = default_engine()
+    jobs = plan(scale, recipe)
+    all_reports = default_engine().run_many(jobs)
 
-    jobs: List[SimJob] = []
-    meta: List[Tuple[str, str, str]] = []
+    layers = [qc.name for qc in bundle.qnet.qconvs()]
+    points: List[ScatterPoint] = []
+    report_iter = iter(all_reports)
     for dataflow in (Dataflow.OUTPUT_STATIONARY, Dataflow.WEIGHT_STATIONARY):
-        config = AcceleratorConfig(dataflow=dataflow)
-        for qc in bundle.qnet.qconvs():
-            cols = streams[qc.name]
-            rows = sample_pixel_rows(cols.shape[0], scale.ter_pixels, rng)
-            acts = cols[rows]
-            wmat = qc.lowered_weight_matrix()
+        for layer in layers:
             for strategy in ALL_STRATEGIES:
-                jobs.append(
-                    SimJob(
-                        acts=acts,
-                        weights=wmat,
-                        corners=(TER_EVAL_CORNER,),
-                        group_size=config.cols,
-                        strategy=strategy,
-                        config=config,
-                        label=f"fig2:{dataflow.value}:{qc.name}:{strategy.value}",
+                report = next(report_iter)[TER_EVAL_CORNER.name]
+                points.append(
+                    ScatterPoint(
+                        layer=layer,
+                        strategy=strategy.value,
+                        dataflow=dataflow.value,
+                        sign_flip_rate=report.sign_flip_rate,
+                        ter=report.ter,
                     )
                 )
-                meta.append((qc.name, strategy.value, dataflow.value))
-
-    points: List[ScatterPoint] = []
-    for (layer, strategy, dataflow_name), reports in zip(meta, engine.run_many(jobs)):
-        report = reports[TER_EVAL_CORNER.name]
-        points.append(
-            ScatterPoint(
-                layer=layer,
-                strategy=strategy,
-                dataflow=dataflow_name,
-                sign_flip_rate=report.sign_flip_rate,
-                ter=report.ter,
-            )
-        )
     return Fig2Result(points=points, correlation=correlation(points))
 
 

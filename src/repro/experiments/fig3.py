@@ -4,12 +4,14 @@ The worked example of Section IV-A: the same four products accumulated in
 different orders yield identical results but different PSUM sign-flip
 counts — 4 flips in an unlucky order, 0 when the output is non-negative
 and the non-negative weights go first, 1 when the output is negative.
+
+Example: ``read-repro fig3``
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -42,6 +44,11 @@ def _demo(label: str, acts, weights) -> OrderDemo:
         final=int(psums[-1]),
         sign_flips=int(count_sign_flips(products)),
     )
+
+
+def plan(scale: Optional[object] = None) -> List[object]:
+    """No engine jobs: a pure worked example (prefix sums of 4 products)."""
+    return []
 
 
 def run() -> List[OrderDemo]:

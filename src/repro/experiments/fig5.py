@@ -1,5 +1,4 @@
-"""Fig. 5: weight-sign concentration after reordering, and clustering
-convergence.
+"""Fig. 5: weight-sign concentration after reordering + clustering convergence.
 
 (a)-(c): the proportion of non-negative vs. negative weights per
 row-position quantile of a VGG-16 conv layer's weight matrix — roughly
@@ -11,6 +10,8 @@ observation that ``sign_first`` sorts better).
 non-negative-weight ratio of the top 25 % / 50 % of the (reordered)
 matrix per clustering iteration, which the paper shows improving and
 converging within ~30 iterations.
+
+Example: ``read-repro fig5 --scale small``
 """
 
 from __future__ import annotations
@@ -59,6 +60,11 @@ def _position_aligned(wmat: np.ndarray, group_size: int, criteria: str) -> np.nd
         wmat, contiguous_clusters(wmat.shape[1], group_size), criteria=criteria
     )
     return np.concatenate([g.weights for g in groups], axis=1)
+
+
+def plan(scale: Optional[ExperimentScale] = None) -> List[object]:
+    """No engine jobs: weight-matrix analysis only (no array simulation)."""
+    return []
 
 
 def run(

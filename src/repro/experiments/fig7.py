@@ -6,6 +6,8 @@ reordering, ``mag_first`` reordering, and cluster-then-reorder.  Paper
 findings reproduced here: all reorderings beat the baseline; reordering
 gets less effective as the group widens; ``sign_first`` beats
 ``mag_first``; clustering helps most at large group sizes.
+
+Example: ``read-repro fig7 --scale small --backend fast``
 """
 
 from __future__ import annotations
@@ -13,13 +15,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
-from ..arch import AcceleratorConfig, sample_pixel_rows
+from ..arch import AcceleratorConfig
 from ..core import MappingStrategy
-from ..engine import SimJob, default_engine
-from ..hw.variations import TER_EVAL_CORNER, PvtaCondition
-from .common import ExperimentScale, get_bundle, get_scale, record_operand_streams, render_table
+from ..engine import EngineJob, SimJob, default_engine
+from ..hw.variations import PAPER_CORNERS, TER_EVAL_CORNER, PvtaCondition
+from .common import (
+    ExperimentScale,
+    get_bundle,
+    get_scale,
+    record_operand_streams,
+    render_table,
+    sample_layer_acts,
+)
 
 #: The four algorithm variants plotted in Fig. 7.
 VARIANTS = (
@@ -40,6 +47,49 @@ class Fig7Result:
     corner_name: str
 
 
+def plan(
+    scale: Optional[ExperimentScale] = None,
+    recipe: str = "vgg16_cifar10",
+    layer_index: int = 6,
+    group_sizes: Sequence[int] = (4, 8, 16, 32),
+    corner: PvtaCondition = TER_EVAL_CORNER,
+) -> List[EngineJob]:
+    """The engine jobs this figure submits (group-size-major).
+
+    Measured at all ``PAPER_CORNERS`` (when the requested corner is one of
+    them) and sampled with the shared per-layer RNG, so the group-size-4
+    ``sign_first`` variants hash to the same cache keys as the
+    fig8/fig10 layer-TER jobs for this layer.
+    """
+    scale = scale or get_scale()
+    bundle = get_bundle(recipe, scale)
+    qconvs = bundle.qnet.qconvs()
+    layer_index = min(layer_index, len(qconvs) - 1)
+    qc = qconvs[layer_index]
+
+    streams = record_operand_streams(bundle.qnet, bundle.x_test[: scale.ter_images])
+    acts = sample_layer_acts(streams, qc.name, scale.ter_pixels)
+    wmat = qc.lowered_weight_matrix()
+    corners = PAPER_CORNERS if corner in PAPER_CORNERS else (corner,)
+
+    config = AcceleratorConfig()
+    usable_sizes = [g for g in group_sizes if g <= wmat.shape[1]]
+    return [
+        SimJob(
+            acts=acts,
+            weights=wmat,
+            corners=corners,
+            group_size=group_size,
+            strategy=strategy,
+            criteria=criteria,
+            config=config,
+            label=f"fig7:{qc.name}:g{group_size}:{name}",
+        )
+        for group_size in usable_sizes
+        for name, strategy, criteria in VARIANTS
+    ]
+
+
 def run(
     scale: Optional[ExperimentScale] = None,
     recipe: str = "vgg16_cifar10",
@@ -54,30 +104,9 @@ def run(
     layer_index = min(layer_index, len(qconvs) - 1)
     qc = qconvs[layer_index]
 
-    streams = record_operand_streams(bundle.qnet, bundle.x_test[: scale.ter_images])
-    rng = np.random.default_rng(0)
-    cols = streams[qc.name]
-    acts = cols[sample_pixel_rows(cols.shape[0], scale.ter_pixels, rng)]
-    wmat = qc.lowered_weight_matrix()
-
-    engine = default_engine()
-    config = AcceleratorConfig()
-    usable_sizes = [g for g in group_sizes if g <= wmat.shape[1]]
-    jobs = [
-        SimJob(
-            acts=acts,
-            weights=wmat,
-            corners=(corner,),
-            group_size=group_size,
-            strategy=strategy,
-            criteria=criteria,
-            config=config,
-            label=f"fig7:{qc.name}:g{group_size}:{name}",
-        )
-        for group_size in usable_sizes
-        for name, strategy, criteria in VARIANTS
-    ]
-    all_reports = engine.run_many(jobs)
+    jobs = plan(scale, recipe, layer_index, group_sizes, corner)
+    usable_sizes = [g for g in group_sizes if g <= qc.lowered_weight_matrix().shape[1]]
+    all_reports = default_engine().run_many(jobs)
 
     ter: Dict[str, List[float]] = {name: [] for name, _, _ in VARIANTS}
     report_iter = iter(all_reports)

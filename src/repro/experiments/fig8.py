@@ -6,25 +6,43 @@ corner, then summarize the per-layer reduction factors.  The paper
 reports average reductions of 4.9x (reorder) and 7.8x (cluster-then-
 reorder) and a best layer of 37.9x; the reproduction reports the same
 statistics over our substrate.
+
+Example: ``read-repro fig8 --scale small --backend fast --jobs 4``
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..core import MappingStrategy
-from ..hw.variations import TER_EVAL_CORNER, PvtaCondition
+from ..engine import EngineJob
+from ..hw.variations import PAPER_CORNERS, TER_EVAL_CORNER, PvtaCondition
 from .common import (
     ALL_STRATEGIES,
     ExperimentScale,
-    LayerTerRecord,
     geometric_mean,
     get_bundle,
     get_scale,
+    layer_ter_jobs,
     measure_layer_ters,
+    record_operand_streams,
     render_table,
 )
+
+#: The two networks of Fig. 8.
+DEFAULT_RECIPES = ("vgg16_cifar10", "resnet18_cifar10")
+
+
+def _measurement_corners(corner: PvtaCondition) -> Tuple[PvtaCondition, ...]:
+    """Corners fed to the layer-TER jobs.
+
+    All paper corners when the requested one is among them — the extra
+    corners ride along on the same simulation pass, and the resulting
+    jobs are byte-identical to fig2/fig10/fig11's, so the figures share
+    one set of cache entries.
+    """
+    return PAPER_CORNERS if corner in PAPER_CORNERS else (corner,)
 
 
 @dataclass(frozen=True)
@@ -65,12 +83,12 @@ class Fig8Result:
 def measure_network(
     recipe: str, scale: ExperimentScale, corner: PvtaCondition
 ) -> NetworkLayerTers:
-    """Layer-wise TERs of one trained network at one corner."""
+    """Layer-wise TERs of one trained network, reported at one corner."""
     bundle = get_bundle(recipe, scale)
     records = measure_layer_ters(
         bundle.qnet,
         bundle.x_test[: scale.ter_images],
-        corners=[corner],
+        corners=_measurement_corners(corner),
         strategies=ALL_STRATEGIES,
         max_pixels=scale.ter_pixels,
     )
@@ -83,6 +101,31 @@ def measure_network(
     return NetworkLayerTers(recipe=recipe, layers=layers, ter=ter, sign_flip_rate=flips)
 
 
+def plan(
+    scale: Optional[ExperimentScale] = None,
+    recipes: Optional[List[str]] = None,
+    corner: PvtaCondition = TER_EVAL_CORNER,
+) -> List[EngineJob]:
+    """The engine jobs this figure submits (per recipe, layer-major)."""
+    scale = scale or get_scale()
+    recipes = list(recipes or DEFAULT_RECIPES)
+    jobs: List[EngineJob] = []
+    for recipe in recipes:
+        bundle = get_bundle(recipe, scale)
+        streams = record_operand_streams(bundle.qnet, bundle.x_test[: scale.ter_images])
+        jobs.extend(
+            layer_ter_jobs(
+                bundle.qnet,
+                streams,
+                _measurement_corners(corner),
+                strategies=ALL_STRATEGIES,
+                max_pixels=scale.ter_pixels,
+                label_prefix=f"fig8:{recipe}:",
+            )
+        )
+    return jobs
+
+
 def run(
     scale: Optional[ExperimentScale] = None,
     recipes: Optional[List[str]] = None,
@@ -90,7 +133,7 @@ def run(
 ) -> Fig8Result:
     """Measure both networks of Fig. 8 (VGG-16 and ResNet-18)."""
     scale = scale or get_scale()
-    recipes = recipes or ["vgg16_cifar10", "resnet18_cifar10"]
+    recipes = list(recipes or DEFAULT_RECIPES)
     networks = [measure_network(recipe, scale, corner) for recipe in recipes]
     return Fig8Result(networks=networks, corner_name=corner.name)
 

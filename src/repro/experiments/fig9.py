@@ -5,6 +5,8 @@ computing one output activation oscillates around zero in the original
 weight order, but rises monotonically and then falls after ``sign_first``
 reordering — crossing the zero line (the red dashed line of the paper's
 figure) at most once.
+
+Example: ``read-repro fig9 --scale small``
 """
 
 from __future__ import annotations
@@ -40,6 +42,11 @@ class Fig9Result:
     layer: str
     original: PsumTrace
     reordered: PsumTrace
+
+
+def plan(scale: Optional[ExperimentScale] = None) -> List[object]:
+    """No engine jobs: exact PSUM trajectories via prefix sums (no DTA)."""
+    return []
 
 
 def run(

@@ -5,12 +5,14 @@ state-of-the-art methods; it carries no measurements, so the reproduction
 simply encodes and renders it (and the test suite checks the claims that
 matter: READ is the only dataflow-layer technique, with no accuracy loss,
 negligible overhead and no throughput drop).
+
+Example: ``read-repro table1``
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from .common import render_table
 
@@ -36,6 +38,11 @@ TABLE1: List[TechniqueFeatures] = [
     TechniqueFeatures("Timing error prediction [10,16]", "circuit-layer", True, True, "Medium", False, "High"),
     TechniqueFeatures("READ (ours)", "dataflow", True, False, "Negligible", False, "Low"),
 ]
+
+
+def plan(scale: Optional[object] = None) -> List[object]:
+    """No engine jobs: a static feature matrix."""
+    return []
 
 
 def run() -> List[TechniqueFeatures]:

@@ -8,8 +8,21 @@ from .abft import (
     protected_gemm,
 )
 from .ber import ber_from_ter, ter_from_ber
-from .evaluate import FaultInjectionEvaluator, InjectionOutcome, bers_from_layer_ters
+from .evaluate import (
+    FaultInjectionEvaluator,
+    InjectionOutcome,
+    bers_from_layer_ters,
+    evaluate_bundle_under_injection,
+    injection_job_for_bundle,
+    outcome_from_result,
+)
 from .injection import BitFlipInjector, msb_weighted_positions
+from .injection_job import (
+    InjectionJob,
+    InjectionResult,
+    run_injection_trials,
+    trial_seed,
+)
 from .sensitivity import (
     LayerSensitivity,
     SensitivityReport,
@@ -21,7 +34,9 @@ __all__ = [
     "AbftReport",
     "BitFlipInjector",
     "FaultInjectionEvaluator",
+    "InjectionJob",
     "InjectionOutcome",
+    "InjectionResult",
     "LayerSensitivity",
     "SensitivityReport",
     "analyze_sensitivity",
@@ -29,9 +44,14 @@ __all__ = [
     "bers_from_layer_ters",
     "check_and_correct",
     "encode_operands",
+    "evaluate_bundle_under_injection",
+    "injection_job_for_bundle",
     "msb_weighted_positions",
+    "outcome_from_result",
     "overhead_macs",
     "protected_gemm",
+    "run_injection_trials",
     "selective_hardening",
     "ter_from_ber",
+    "trial_seed",
 ]

@@ -16,6 +16,13 @@ range of the register (whose top bits never toggle for layers that use
 only part of the dynamic range).  Positions are therefore drawn from a
 window just below each layer's active MSB — measured from the batch being
 injected — with an absolute-window mode retained for sensitivity studies.
+
+The injector's randomness is fully determined by its seed: flips, counts
+and positions depend only on (seed, accumulator shapes/values), never on
+process or scheduling state.  :mod:`repro.faults.injection_job` relies on
+this to make engine-scheduled campaigns (re-seeded per trial via
+:func:`~repro.faults.injection_job.trial_seed`) bit-reproducible across
+worker pools and the result cache.
 """
 
 from __future__ import annotations

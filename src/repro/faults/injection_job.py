@@ -1,0 +1,267 @@
+"""The engine's second job kind: one seeded fault-injection campaign.
+
+An :class:`InjectionJob` specifies one cell of the paper's Section V-C
+accuracy study — a trained network recipe, a per-layer BER table (from
+Eq. 1 at one strategy x corner), and a block of trial seeds — and
+produces the per-trial top-k accuracies.  Like
+:class:`~repro.engine.job.SimJob` it is picklable and content-addressed,
+so fig10/fig11-style campaigns share the engine's process pool and
+on-disk result cache with the layer-TER simulations.
+
+Determinism is the load-bearing property: a worker process rebuilds the
+trained bundle via :func:`repro.experiments.common.get_bundle` (which
+loads the exact parameter snapshot the submitting process trained) and
+replays :func:`run_injection_trials` with seeds derived only from the job
+spec — so the same (job, seed) pair yields bit-identical trial accuracies
+whether it runs inline, on a pool worker, or from the cache.  The
+regression suite in ``tests/test_injection_job.py`` enforces this.
+
+The trained network is *not* shipped in the job: the spec carries the
+(recipe, scale, seed) triple that determines it, keeping jobs cheap to
+pickle and the hash honest — any field that could change the trained
+weights (training set size, epochs, width, seeds) feeds the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Mapping, Tuple, Union
+
+import numpy as np
+
+from ..engine.job import EngineJob, feed_hash
+from ..errors import ConfigurationError
+from .injection import BitFlipInjector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see execute())
+    from ..experiments.common import ExperimentScale
+    from ..nn.quantize import QuantizedNetwork
+
+#: Bump when the trial protocol or the cached result layout changes.
+INJECTION_SCHEMA_VERSION = 1
+
+#: Scale fields that determine the trained bundle and hence the result.
+_SCALE_FIELDS = (
+    "name", "n_train", "n_test", "epochs", "width",
+    "ter_pixels", "ter_images", "inject_n", "n_trials",
+)
+
+
+def trial_seed(base_seed: int, trial: int) -> int:
+    """Seed of one repeated injection trial (the paper's 5 repetitions).
+
+    Pure function of the job spec — never of process or pool state — so
+    trial streams are reproducible across ``--jobs`` settings.
+    """
+    return base_seed + 1000 * trial + 17
+
+
+@dataclass(frozen=True)
+class InjectionResult:
+    """Per-trial accuracies of one campaign (the cacheable payload)."""
+
+    trial_accuracies: Tuple[float, ...]
+    flips_injected: int = 0
+
+    @property
+    def mean_accuracy(self) -> float:
+        return float(np.mean(self.trial_accuracies))
+
+    @property
+    def std_accuracy(self) -> float:
+        return float(np.std(self.trial_accuracies))
+
+
+def run_injection_trials(
+    network: "QuantizedNetwork",
+    x: np.ndarray,
+    y: np.ndarray,
+    ber_per_layer: Mapping[str, float],
+    *,
+    n_trials: int,
+    base_seed: int = 0,
+    topk: int = 1,
+    batch_size: int = 128,
+    mode: str = "relative",
+    relative_window: int = 3,
+    bit_low: int = 20,
+    bit_high: int = 23,
+) -> InjectionResult:
+    """The repeated-seeded-trial primitive every injection path shares.
+
+    A BER table that is empty or all-zero short-circuits to a single
+    fault-free run (the *Ideal* corner).  Otherwise one
+    :class:`BitFlipInjector` is re-seeded per trial with
+    :func:`trial_seed` — exactly the paper's protocol.
+    """
+    if n_trials < 1:
+        raise ConfigurationError("n_trials must be >= 1")
+    bers = dict(ber_per_layer)
+    if not bers or all(b == 0.0 for b in bers.values()):
+        acc = network.evaluate(x, y, topk=topk, batch_size=batch_size)
+        return InjectionResult(trial_accuracies=(acc,), flips_injected=0)
+
+    injector = BitFlipInjector(
+        ber_per_layer=bers,
+        mode=mode,
+        relative_window=relative_window,
+        bit_low=bit_low,
+        bit_high=bit_high,
+    )
+    accuracies: List[float] = []
+    flips = 0
+    for trial in range(n_trials):
+        injector.reseed(trial_seed(base_seed, trial))
+        accuracies.append(
+            network.evaluate(x, y, topk=topk, batch_size=batch_size, injector=injector)
+        )
+        flips += injector.flips_injected
+    return InjectionResult(trial_accuracies=tuple(accuracies), flips_injected=flips)
+
+
+@dataclass(frozen=True, eq=False)
+class InjectionJob(EngineJob):
+    """One (network, BER table, seed block) accuracy campaign, schedulable.
+
+    Attributes
+    ----------
+    recipe:
+        Model/dataset combination name (see
+        :data:`repro.experiments.common.MODEL_RECIPES`).
+    scale:
+        The :class:`~repro.experiments.common.ExperimentScale` that sized
+        the training run; every field feeds the content hash because the
+        trained weights (and the test set) depend on them.
+    bers:
+        Per-layer output BER table, stored as a layer-name-sorted tuple of
+        ``(layer, ber)`` pairs (a dict is accepted and normalized).
+    inject_n:
+        Test images injected (the paper uses one batch of 128).
+    n_trials / base_seed:
+        The seed block: trials run at ``trial_seed(base_seed, t)``.
+    topk / batch_size:
+        Evaluation protocol (Fig. 10 uses top-1, Fig. 11 top-3).
+    mode / relative_window / bit_low / bit_high:
+        :class:`BitFlipInjector` configuration.
+    bundle_seed:
+        Training/dataset seed forwarded to ``get_bundle``.
+    corner / label:
+        Provenance (PVTA corner name, free-form tag).  **Not** hashed.
+    """
+
+    kind = "injection"
+
+    recipe: str
+    scale: "ExperimentScale"
+    bers: Union[Mapping[str, float], Tuple[Tuple[str, float], ...]]
+    inject_n: int
+    n_trials: int
+    topk: int = 1
+    base_seed: int = 0
+    batch_size: int = 128
+    mode: str = "relative"
+    relative_window: int = 3
+    bit_low: int = 20
+    bit_high: int = 23
+    bundle_seed: int = 0
+    corner: str = ""
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        bers = self.bers
+        if isinstance(bers, Mapping):
+            bers = tuple(sorted((str(k), float(v)) for k, v in bers.items()))
+        else:
+            bers = tuple(sorted((str(k), float(v)) for k, v in bers))
+        object.__setattr__(self, "bers", bers)
+        for name, ber in bers:
+            if not 0.0 <= ber <= 1.0:
+                raise ConfigurationError(f"layer {name}: BER {ber} outside [0, 1]")
+        if self.inject_n < 1:
+            raise ConfigurationError("inject_n must be >= 1")
+        if self.n_trials < 1:
+            raise ConfigurationError("n_trials must be >= 1")
+        if self.topk < 1:
+            raise ConfigurationError("topk must be >= 1")
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        for fld in _SCALE_FIELDS:
+            if not hasattr(self.scale, fld):
+                raise ConfigurationError(
+                    f"scale must be an ExperimentScale (missing field {fld!r})"
+                )
+        if self.mode not in ("relative", "absolute"):
+            raise ConfigurationError("mode must be 'relative' or 'absolute'")
+
+    # ------------------------------------------------------------------ #
+    def ber_table(self) -> Dict[str, float]:
+        """The BER table as a plain dict (for reporting)."""
+        return dict(self.bers)
+
+    def key(self) -> str:
+        h = hashlib.sha256()
+        feed_hash(h, "repro-injectionjob", INJECTION_SCHEMA_VERSION)
+        feed_hash(h, self.recipe, self.bundle_seed)
+        feed_hash(h, *(getattr(self.scale, fld) for fld in _SCALE_FIELDS))
+        for name, ber in self.bers:
+            feed_hash(h, name, ber)
+        feed_hash(
+            h,
+            self.inject_n,
+            self.n_trials,
+            self.topk,
+            self.base_seed,
+            self.batch_size,
+            self.mode,
+            self.relative_window,
+            self.bit_low,
+            self.bit_high,
+        )
+        return h.hexdigest()
+
+    def execute(self, backend_factory=None) -> InjectionResult:
+        """Rebuild the trained bundle and replay the seeded trials.
+
+        ``backend_factory`` is ignored — injection runs network-level
+        inference, not array simulation.  Imported lazily: the experiments
+        package imports the faults package at module level, so the reverse
+        import must happen at call time.
+        """
+        from ..experiments.common import get_bundle
+
+        bundle = get_bundle(self.recipe, self.scale, seed=self.bundle_seed)
+        x = bundle.x_test[: self.inject_n]
+        y = bundle.y_test[: self.inject_n]
+        return run_injection_trials(
+            bundle.qnet,
+            x,
+            y,
+            self.ber_table(),
+            n_trials=self.n_trials,
+            base_seed=self.base_seed,
+            topk=self.topk,
+            batch_size=self.batch_size,
+            mode=self.mode,
+            relative_window=self.relative_window,
+            bit_low=self.bit_low,
+            bit_high=self.bit_high,
+        )
+
+    def corner_names(self) -> List[str]:
+        return [self.corner] if self.corner else []
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def serialize_result(result: InjectionResult) -> Dict[str, np.ndarray]:
+        return {
+            "trial_accuracies": np.asarray(result.trial_accuracies, dtype=np.float64),
+            "flips_injected": np.asarray(result.flips_injected, dtype=np.int64),
+        }
+
+    @staticmethod
+    def deserialize_result(data) -> InjectionResult:
+        return InjectionResult(
+            trial_accuracies=tuple(float(a) for a in data["trial_accuracies"]),
+            flips_injected=int(data["flips_injected"]),
+        )

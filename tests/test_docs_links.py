@@ -1,0 +1,22 @@
+"""Docs guard: every intra-repo Markdown link must resolve.
+
+Thin wrapper around ``tools/check_docs_links.py`` (the CI docs job runs
+the same script), so a doc rename that orphans a link fails locally too.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_docs_links import broken_links, iter_doc_files  # noqa: E402
+
+
+def test_docs_exist():
+    names = {f.name for f in iter_doc_files(REPO_ROOT)}
+    assert {"README.md", "engine.md", "experiments.md", "architecture.md"} <= names
+
+
+def test_no_broken_intra_repo_links():
+    assert broken_links(REPO_ROOT) == []

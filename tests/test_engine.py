@@ -200,7 +200,7 @@ class TestResultCache:
         path = cache.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_bytes(b"not an npz")
-        assert cache.load(key) is None
+        assert cache.load(key, job) is None
         assert not path.exists()  # removed so it cannot keep missing
 
     def test_clear_and_len(self, tmp_path):
@@ -284,6 +284,25 @@ class TestScheduler:
                 reports[TER_EVAL_CORNER.name].outputs, direct[TER_EVAL_CORNER.name].outputs
             )
         assert engine.stats.hits == 1
+
+    def test_same_key_jobs_deduplicate_within_batch(self, tmp_path):
+        engine = SimEngine(backend="fast", cache_dir=tmp_path)
+        job = make_job(seed=60)
+        twin = make_job(seed=60, label="relabelled")  # same key, new label
+        results = engine.run_many([job, twin, make_job(seed=61)])
+        assert engine.stats.misses == 2  # the duplicate never simulates
+        assert engine.stats.deduped == 1
+        for name in results[0]:
+            assert results[0][name].ter == results[1][name].ter
+            assert np.array_equal(results[0][name].outputs, results[1][name].outputs)
+
+    def test_no_dedup_without_cache(self):
+        # With the cache off no keys are derived; every job executes.
+        engine = SimEngine(backend="fast", use_cache=False)
+        job = make_job(seed=62)
+        engine.run_many([job, job])
+        assert engine.stats.misses == 2
+        assert engine.stats.deduped == 0
 
     def test_process_pool_matches_inline(self, tmp_path):
         jobs = [make_job(seed=s) for s in (40, 41, 42)]

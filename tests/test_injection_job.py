@@ -1,0 +1,189 @@
+"""Engine-scheduled fault injection: hashing, caching, reproducibility.
+
+The regression at the heart of this module: a seeded injection campaign
+must be *bit-identical* however it executes — inline (``--jobs 1``),
+across a process pool (``--jobs N``), cold, or recalled from the on-disk
+cache.  Anything less would make cached accuracy grids silently diverge
+from fresh ones.
+"""
+
+import pytest
+
+from repro.engine import SimEngine
+from repro.errors import ConfigurationError
+from repro.experiments.common import SCALES, get_bundle
+from repro.faults import (
+    FaultInjectionEvaluator,
+    InjectionJob,
+    InjectionResult,
+    bers_from_layer_ters,
+    evaluate_bundle_under_injection,
+    injection_job_for_bundle,
+    run_injection_trials,
+    trial_seed,
+)
+
+MICRO = SCALES["micro"]
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return get_bundle("vgg16_cifar10", MICRO)
+
+
+def make_job(bundle, ber=1e-3, base_seed=7, n_trials=2, **kwargs):
+    layers = [qc.name for qc in bundle.qnet.qconvs()[:3]]
+    return injection_job_for_bundle(
+        bundle,
+        {name: ber for name in layers},
+        inject_n=16,
+        n_trials=n_trials,
+        base_seed=base_seed,
+        **kwargs,
+    )
+
+
+class TestJobKey:
+    def test_provenance_excluded(self, bundle):
+        a = make_job(bundle, corner="Ideal", label="first")
+        b = make_job(bundle, corner="Aging-10y", label="second")
+        assert a.key() == b.key()
+
+    def test_bers_normalized(self, bundle):
+        layers = [qc.name for qc in bundle.qnet.qconvs()[:2]]
+        as_dict = injection_job_for_bundle(
+            bundle, {layers[0]: 1e-3, layers[1]: 2e-3}, inject_n=8, n_trials=1
+        )
+        as_pairs = injection_job_for_bundle(
+            bundle, [(layers[1], 2e-3), (layers[0], 1e-3)], inject_n=8, n_trials=1
+        )
+        assert as_dict.key() == as_pairs.key()
+        assert as_dict.bers == as_pairs.bers
+
+    @pytest.mark.parametrize(
+        "variation",
+        [
+            dict(base_seed=8),
+            dict(n_trials=3),
+            dict(topk=3),
+            dict(ber=2e-3),
+        ],
+    )
+    def test_key_changes_with_spec(self, bundle, variation):
+        assert make_job(bundle).key() != make_job(bundle, **variation).key()
+
+    def test_key_changes_with_scale_and_recipe(self, bundle):
+        base = make_job(bundle)
+        other_scale = InjectionJob(
+            recipe=base.recipe,
+            scale=SCALES["tiny"],
+            bers=base.bers,
+            inject_n=base.inject_n,
+            n_trials=base.n_trials,
+            base_seed=base.base_seed,
+        )
+        assert base.key() != other_scale.key()
+
+    def test_validation(self, bundle):
+        with pytest.raises(ConfigurationError):
+            make_job(bundle, ber=1.5)
+        with pytest.raises(ConfigurationError):
+            make_job(bundle, n_trials=0)
+        with pytest.raises(ConfigurationError):
+            InjectionJob(recipe="x", scale=MICRO, bers={}, inject_n=0, n_trials=1)
+        with pytest.raises(ConfigurationError):
+            InjectionJob(
+                recipe="x", scale=MICRO, bers={}, inject_n=1, n_trials=1, mode="sideways"
+            )
+        with pytest.raises(ConfigurationError):
+            InjectionJob(recipe="x", scale=object(), bers={}, inject_n=1, n_trials=1)
+
+
+class TestReproducibility:
+    """Same (job, seed) -> bit-identical accuracies, any execution mode."""
+
+    def test_trial_seeds_are_spec_derived(self):
+        assert trial_seed(0, 0) == 17
+        assert trial_seed(3, 2) == 2020
+
+    def test_inline_deterministic(self, bundle):
+        job = make_job(bundle)
+        assert job.execute() == job.execute()
+
+    def test_bundle_memo_keyed_by_training_seed(self, bundle):
+        # bundle_seed feeds the job hash, so the in-memory bundle memo
+        # must distinguish seeds too — otherwise an inline run would
+        # reuse seed-0 weights for a seed-1 job while a fresh pool
+        # worker would train the real seed-1 model.
+        other = get_bundle("vgg16_cifar10", MICRO, seed=1)
+        assert other is not bundle
+        assert get_bundle("vgg16_cifar10", MICRO, seed=0) is bundle
+
+    def test_pool_matches_inline_cold(self, bundle):
+        jobs = [make_job(bundle, base_seed=s) for s in (11, 12)]
+        inline = SimEngine(backend="fast", use_cache=False).run_many(jobs)
+        pooled = SimEngine(backend="fast", jobs=2, use_cache=False).run_many(jobs)
+        for i, p in zip(inline, pooled):
+            assert i.trial_accuracies == p.trial_accuracies
+            assert i.flips_injected == p.flips_injected
+
+    def test_cache_hit_is_byte_identical_to_cold_run(self, bundle, tmp_path):
+        engine = SimEngine(backend="fast", cache_dir=tmp_path)
+        job = make_job(bundle)
+        cold = engine.run(job)
+        assert engine.stats.misses == 1
+        warm = engine.run(job)
+        assert engine.stats.hits == 1
+        assert isinstance(warm, InjectionResult)
+        assert cold.trial_accuracies == warm.trial_accuracies
+        assert cold.flips_injected == warm.flips_injected
+
+    def test_result_count_matches_trials(self, bundle):
+        result = make_job(bundle, n_trials=2).execute()
+        assert len(result.trial_accuracies) == 2
+        assert result.flips_injected > 0
+
+
+class TestAgainstInlineEvaluator:
+    """The scheduled path must reproduce the inline evaluator exactly."""
+
+    def test_engine_routed_equals_inline(self, bundle, tmp_path):
+        layers = [qc.name for qc in bundle.qnet.qconvs()[:3]]
+        bers = {name: 1e-3 for name in layers}
+        x, y = bundle.x_test[:16], bundle.y_test[:16]
+
+        inline = FaultInjectionEvaluator(bundle.qnet, n_trials=2).run(
+            x, y, bers, base_seed=5
+        )
+        routed = evaluate_bundle_under_injection(
+            bundle,
+            bers,
+            inject_n=16,
+            n_trials=2,
+            base_seed=5,
+            engine=SimEngine(backend="fast", cache_dir=tmp_path),
+        )
+        assert routed.trial_accuracies == inline.trial_accuracies
+        assert routed.mean_accuracy == inline.mean_accuracy
+        assert routed.std_accuracy == inline.std_accuracy
+        assert routed.ber_per_layer == inline.ber_per_layer
+
+    def test_zero_ber_short_circuits_to_single_clean_trial(self, bundle):
+        result = run_injection_trials(
+            bundle.qnet,
+            bundle.x_test[:16],
+            bundle.y_test[:16],
+            {"conv0": 0.0},
+            n_trials=5,
+        )
+        assert len(result.trial_accuracies) == 1
+        assert result.flips_injected == 0
+
+    def test_eq1_pipeline_composes(self, bundle):
+        # TER -> Eq.1 BER -> campaign, all through the public helpers.
+        n_macs = {qc.name: qc.n_macs_per_output for qc in bundle.qnet.qconvs()}
+        ters = {name: 1e-5 for name in n_macs}
+        bers = bers_from_layer_ters(ters, n_macs)
+        job = injection_job_for_bundle(bundle, bers, inject_n=8, n_trials=1)
+        result = job.execute()
+        assert 0.0 <= result.trial_accuracies[0] <= 1.0

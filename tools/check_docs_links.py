@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Check that intra-repo links in the Markdown docs resolve.
+
+Scans ``README.md``, ``docs/*.md`` and the other root-level Markdown
+files for ``[text](target)`` links and verifies that every relative
+target exists on disk (anchors are stripped; ``http(s)://`` and
+``mailto:`` targets are ignored).  Exits non-zero listing the broken
+links — CI runs this as the docs job, and ``tests/test_docs_links.py``
+enforces it locally.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+#: Markdown inline links: [text](target). Deliberately simple — the docs
+#: use no reference-style links or images with titles.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_doc_files(root: Path) -> List[Path]:
+    """The Markdown set the docs job guards: root-level *.md and docs/."""
+    files = sorted(root.glob("*.md")) + sorted((root / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def broken_links(root: Path) -> List[Tuple[Path, str]]:
+    """All (file, target) pairs whose relative target does not resolve."""
+    broken: List[Tuple[Path, str]] = []
+    for doc in iter_doc_files(root):
+        for target in _LINK.findall(doc.read_text()):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                broken.append((doc.relative_to(root), target))
+    return broken
+
+
+def main(root: Path | None = None) -> int:
+    root = root or Path(__file__).resolve().parents[1]
+    broken = broken_links(root)
+    for doc, target in broken:
+        print(f"{doc}: broken link -> {target}", file=sys.stderr)
+    if not broken:
+        print(f"docs links ok ({len(iter_doc_files(root))} file(s) checked)")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
