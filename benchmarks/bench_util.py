@@ -1,0 +1,13 @@
+"""Shared helpers for the benchmark suite.
+
+Kept outside ``conftest.py`` so benchmark modules can import them by a
+stable module name: with a repository-root ``conftest.py`` in play (it
+registers the ``--backend`` / ``--update-golden`` options), a bare
+``from conftest import ...`` would be ambiguous about *which* conftest
+module it resolves to.
+"""
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an experiment with one warm round (training is cached)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -10,9 +10,6 @@ simulated MAC cycles.
 
 import os
 
+from bench_util import run_once  # noqa: F401  (re-export for back-compat)
+
 os.environ.setdefault("REPRO_SCALE", "tiny")
-
-
-def run_once(benchmark, fn, *args, **kwargs):
-    """Benchmark an experiment with one warm round (training is cached)."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -29,7 +29,7 @@ from repro.experiments.common import render_table
 from repro.hw.mac import MacConfig
 from repro.hw.variations import TER_EVAL_CORNER
 
-from conftest import run_once
+from bench_util import run_once
 
 
 @pytest.fixture(scope="module")

@@ -25,7 +25,7 @@ from repro.hw.razor import RazorConfig, TimingSpeculationModel
 from repro.hw.mac import MacUnit
 from repro.hw.variations import TER_EVAL_CORNER
 
-from conftest import run_once
+from bench_util import run_once
 
 
 @pytest.fixture(scope="module")

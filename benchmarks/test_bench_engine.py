@@ -1,21 +1,31 @@
-"""Bench: engine speedups — fast backend, result cache, batched sweep.
+"""Bench: engine speedups — backends, result cache, batched sweep.
 
-Records the three wall-clock ratios the engine exists for, into the bench
-trajectory:
+Records the wall-clock ratios the engine exists for, into the bench
+trajectory *and* into a machine-readable ``BENCH_engine.json`` at the
+repository root (CI uploads it as an artifact):
 
-* ``fast`` backend vs the ``reference`` simulator on the same job batch
-  (single process, no cache) — the vectorized-corner-evaluation win;
+* per-backend wall clock of the canonical micro-scale batch —
+  ``reference`` vs ``fast`` vs ``vector`` — with the asserted bound that
+  ``vector`` is at least 10x faster than ``reference``;
 * warm (cache-hit) vs cold sweep — what re-running any figure costs now;
-* the ``read-repro all --jobs N``-style engine sweep (fast backend,
-  multi-process, cached) vs the serial seed path (reference backend, no
-  cache, one process).
+* the ``read-repro all --jobs N``-style engine sweep (vector backend,
+  cached) vs the serial seed path (reference backend, no cache).
 
-The asserted bounds are the CPU-count-independent ones (the fast backend
-and the cache); the multi-process sweep number is recorded for the
-trajectory since this container may expose a single core.
+The backend comparison always runs the same micro-scale batch — the
+conv-layer shapes of the ``micro`` bundle with their full operand
+streams — regardless of ``REPRO_SCALE``, so successive
+``BENCH_engine.json`` snapshots stay comparable.  Run it with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_engine.py -q -s
+
+The asserted bounds are CPU-count independent (single-process wall-clock
+ratios, interleaved best-of-N to damp shared-runner noise).
 """
 
+import json
+import os
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -23,7 +33,66 @@ from repro.core import MappingStrategy
 from repro.engine import SimEngine, SimJob
 from repro.hw.variations import PAPER_CORNERS
 
-from conftest import run_once
+from bench_util import run_once
+
+#: Machine-readable bench record, at the repository root.
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
+#: The asserted floor on the vector backend's speedup over reference.
+#: Overridable for noisy shared hosts via $REPRO_BENCH_MIN_SPEEDUP.
+MIN_VECTOR_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "10.0"))
+
+#: Conv-layer operand shapes of the ``micro`` bundle with full pixel
+#: streams (no sub-sampling): the canonical backend-comparison workload.
+MICRO_STREAM_SHAPES = (
+    (1024, 27, 8),
+    (1024, 72, 8),
+    (256, 144, 16),
+    (64, 288, 32),
+    (48, 576, 64),
+    (512, 96, 16),
+)
+
+
+_SESSION_SECTIONS = set()
+
+
+def record_bench(section, payload):
+    """Merge one section into ``BENCH_engine.json``.
+
+    The first record of a pytest session starts a fresh file, so a full
+    run never carries sections over from an older snapshot; within one
+    session the three bench tests merge into a single record.
+    """
+    data = {}
+    if _SESSION_SECTIONS and BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    _SESSION_SECTIONS.add(section)
+    data["schema"] = 1
+    data.setdefault("host", {"cpu_count": os.cpu_count()})
+    data["command"] = "PYTHONPATH=src python -m pytest benchmarks/test_bench_engine.py -q -s"
+    data[section] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def micro_stream_jobs(seed=7):
+    """The canonical micro-scale batch, one job per layer shape."""
+    rng = np.random.default_rng(seed)
+    strategies = list(MappingStrategy)
+    return [
+        SimJob(
+            acts=rng.integers(0, 256, size=(n_pixels, c_eff)),
+            weights=rng.integers(-128, 128, size=(c_eff, k)),
+            corners=PAPER_CORNERS,
+            group_size=4,
+            strategy=strategies[i % len(strategies)],
+            label=f"bench:micro:{i}",
+        )
+        for i, (n_pixels, c_eff, k) in enumerate(MICRO_STREAM_SHAPES)
+    ]
 
 
 def make_jobs(n_jobs=6, n_pixels=64, c_eff=96, k=16, seed=7):
@@ -69,32 +138,66 @@ def timed_interleaved(contenders, repeats=3):
     return best
 
 
-def test_bench_engine_fast_backend(benchmark):
-    jobs = make_jobs()
-    reference = SimEngine(backend="reference", use_cache=False)
-    fast = SimEngine(backend="fast", use_cache=False)
-    reference.run_many(jobs)  # warm numpy/scipy paths for both contenders
-    fast.run_many(jobs)
-    t_reference, t_fast = timed_interleaved(
-        [lambda: reference.run_many(jobs), lambda: fast.run_many(jobs)]
+def test_bench_engine_backends(benchmark):
+    """reference vs fast vs vector on the canonical micro-scale batch."""
+    jobs = micro_stream_jobs()
+    engines = {
+        name: SimEngine(backend=name, use_cache=False)
+        for name in ("reference", "fast", "vector")
+    }
+    for engine in engines.values():  # warm numpy paths and the plan memo
+        engine.run_many(jobs)
+    contenders = [lambda e=e: e.run_many(jobs) for e in engines.values()]
+    clocks = dict(zip(engines, timed_interleaved(contenders, repeats=5)))
+    if clocks["reference"] / clocks["vector"] < MIN_VECTOR_SPEEDUP:
+        # One extended re-measure before declaring a regression: a single
+        # noisy-neighbor blip on a shared runner can depress best-of-5.
+        retry = dict(zip(engines, timed_interleaved(contenders, repeats=7)))
+        clocks = {name: min(clocks[name], retry[name]) for name in clocks}
+    run_once(benchmark, engines["vector"].run_many, jobs)
+    speedups = {name: clocks["reference"] / clocks[name] for name in clocks}
+    record_bench(
+        "backends",
+        {
+            "batch": "micro-scale conv shapes, full operand streams, "
+            f"{len(jobs)} jobs x {len(PAPER_CORNERS)} corners",
+            "wall_clock_s": {k: round(v, 4) for k, v in clocks.items()},
+            "speedup_vs_reference": {k: round(v, 2) for k, v in speedups.items()},
+            "asserted_min_vector_speedup": MIN_VECTOR_SPEEDUP,
+        },
     )
-    run_once(benchmark, fast.run_many, jobs)
     print()
     print(
-        f"reference: {t_reference:.3f}s  fast: {t_fast:.3f}s  "
-        f"speedup: {t_reference / t_fast:.2f}x"
+        "  ".join(
+            f"{name}: {clocks[name]:.3f}s ({speedups[name]:.1f}x)" for name in clocks
+        )
     )
-    assert t_fast < t_reference
+    assert clocks["fast"] < clocks["reference"]
+    assert speedups["vector"] >= MIN_VECTOR_SPEEDUP, (
+        f"vector backend regressed: {speedups['vector']:.1f}x < "
+        f"{MIN_VECTOR_SPEEDUP}x over reference (see BENCH_engine.json)"
+    )
 
 
 def test_bench_engine_cache_hits(benchmark, tmp_path):
-    jobs = make_jobs(n_jobs=4)
-    engine = SimEngine(backend="fast", cache_dir=tmp_path)
+    # The canonical batch: on small synthetic jobs the vector backend
+    # computes about as fast as the cache deserializes, which is a
+    # statement about the backend, not the cache.
+    jobs = micro_stream_jobs()
+    engine = SimEngine(backend="vector", cache_dir=tmp_path)
     t_cold = timed(engine.run_many, jobs, repeats=1)
     assert engine.stats.misses == len(jobs)
     run_once(benchmark, engine.run_many, jobs)
     assert engine.stats.hits >= len(jobs)
     t_warm = timed(engine.run_many, jobs)
+    record_bench(
+        "cache",
+        {
+            "cold_s": round(t_cold, 4),
+            "warm_s": round(t_warm, 4),
+            "hit_speedup": round(t_cold / t_warm, 1),
+        },
+    )
     print()
     print(
         f"cold: {t_cold:.3f}s  warm: {t_warm:.4f}s  "
@@ -109,9 +212,18 @@ def test_bench_engine_sweep_vs_serial_seed_path(benchmark, tmp_path):
     t_serial = timed(
         SimEngine(backend="reference", use_cache=False).run_many, jobs, repeats=1
     )
-    engine = SimEngine(backend="fast", jobs=4, cache_dir=tmp_path)
+    engine = SimEngine(backend="vector", jobs=4, cache_dir=tmp_path)
     t_cold = timed(engine.run_many, jobs, repeats=1)  # parallel, cache-filling
     t_warm = run_once(benchmark, lambda: timed(engine.run_many, jobs, repeats=1))
+    record_bench(
+        "sweep",
+        {
+            "serial_reference_s": round(t_serial, 4),
+            "engine_cold_s": round(t_cold, 4),
+            "engine_warm_s": round(t_warm, 4),
+            "warm_speedup": round(t_serial / t_warm, 1),
+        },
+    )
     print()
     print(
         f"serial seed path: {t_serial:.3f}s  engine cold (jobs=4): {t_cold:.3f}s  "

@@ -3,7 +3,7 @@
 from repro.experiments import fig7
 from repro.experiments.common import get_scale
 
-from conftest import run_once
+from bench_util import run_once
 
 
 def test_bench_fig7(benchmark):

@@ -9,7 +9,7 @@ from repro.core import MappingStrategy
 from repro.experiments import fig8
 from repro.experiments.common import get_scale
 
-from conftest import run_once
+from bench_util import run_once
 
 
 def test_bench_fig8(benchmark):

@@ -5,7 +5,7 @@ import numpy as np
 from repro.experiments import fig9
 from repro.experiments.common import get_scale
 
-from conftest import run_once
+from bench_util import run_once
 
 
 def test_bench_fig9(benchmark):

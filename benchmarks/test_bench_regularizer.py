@@ -17,7 +17,7 @@ from repro.nn import QuantizedNetwork, Trainer, build_model
 from repro.nn.datasets import DatasetSpec, SyntheticImageDataset
 from repro.nn.regularizers import NegativeWeightPenalty
 
-from conftest import run_once
+from bench_util import run_once
 
 
 def _train_and_measure(regularizer):

@@ -2,7 +2,7 @@
 
 from repro.experiments import table1
 
-from conftest import run_once
+from bench_util import run_once
 
 
 def test_bench_table1(benchmark):

@@ -81,6 +81,61 @@ class LayerReliabilityReport:
         return float(1.0 - (1.0 - self.ter) ** self.n_macs_per_output)
 
 
+def weight_stationary_fold(
+    psum_fields: np.ndarray,
+    native_spans: np.ndarray,
+    pixel_chunk: int,
+    width: int,
+) -> Tuple[np.ndarray, int, int]:
+    """Weight-stationary register adjacency, folded as whole-tensor ops.
+
+    Field-domain equivalent of
+    :meth:`SystolicArraySimulator._apply_dataflow_adjacency` for a whole
+    pixel block at once: under weight-stationary dataflow the PSUM
+    register at each reduction stage sees consecutive *pixels* (axis 0 of
+    ``psum_fields``), so the settle spans and sign flips are recomputed
+    from the pixel-adjacent XOR instead of the within-pixel one.  The
+    first pixel of every ``pixel_chunk`` keeps its within-pixel
+    ``native_spans`` (its predecessor is the tile-boundary reload) and is
+    excluded from the flip statistic, exactly as the reference
+    simulator's chunk loop does — one shifted XOR plus one ``frexp``
+    replaces the per-chunk Python iteration.
+
+    Parameters
+    ----------
+    psum_fields:
+        ``(n_pixels, ...)`` unsigned two's-complement PSUM register
+        fields (cycle results), pixel axis first.
+    native_spans:
+        Within-pixel toggle spans, same shape (consumed only at chunk
+        starts).
+    pixel_chunk / width:
+        Chunking and register width of the simulated array.
+
+    Returns
+    -------
+    (spans, flip_count, transition_count):
+        The dataflow-adjusted spans (same shape/dtype class as
+        ``native_spans``) and the sign-flip/transition totals.
+    """
+    n_pixels = psum_fields.shape[0]
+    chunk_starts = np.arange(0, n_pixels, pixel_chunk)
+    xor = np.empty_like(psum_fields)
+    np.bitwise_xor(psum_fields[1:], psum_fields[:-1], out=xor[1:])
+    xor[chunk_starts] = 0
+    sign_bit = np.asarray(1 << (width - 1), dtype=psum_fields.dtype)
+    flips = int(np.count_nonzero(xor >= sign_bit))  # xor==0 at chunk starts
+    # frexp's exponent is the 1-based highest set bit; float32 is exact
+    # for fields under 24 bits (the paper's accumulator), float64 beyond.
+    float_dtype = np.float32 if width <= 24 else np.float64
+    _, spans = np.frexp(xor.astype(float_dtype))
+    spans = spans.astype(native_spans.dtype, copy=False)
+    spans[chunk_starts] = native_spans[chunk_starts]
+    per_cycle = int(np.prod(psum_fields.shape[1:], dtype=np.int64))
+    transitions = (n_pixels - chunk_starts.size) * per_cycle
+    return spans, flips, transitions
+
+
 class SystolicArraySimulator:
     """Reliability-instrumented execution of lowered layers.
 

@@ -51,7 +51,10 @@ def _engine_flags(parser: argparse.ArgumentParser) -> None:
         "--backend",
         choices=backend_names(),
         default=None,
-        help="simulation backend (default: $REPRO_BACKEND or 'reference')",
+        help=(
+            "simulation backend (default: $REPRO_BACKEND; unset, 'all' and "
+            "the fig10/fig11 grids pick 'vector', the rest 'reference')"
+        ),
     )
     parser.add_argument(
         "--jobs",
@@ -135,8 +138,10 @@ def run_one(name: str, scale_name: Optional[str]) -> str:
 
 
 def _print_engine_summary(engine) -> None:
+    # effective_backend() reports what actually simulated — fig10/fig11
+    # and `all` may have upgraded an unspecified backend to "vector".
     print(
-        f"engine[{engine.backend_name}, jobs={engine.jobs}, "
+        f"engine[{engine.effective_backend()}, jobs={engine.jobs}, "
         f"cache={'on' if engine.cache is not None else 'off'}]: "
         f"{engine.stats.describe()}"
     )

@@ -3,16 +3,18 @@
 The engine turns the paper's serial per-figure simulation loops into one
 schedulable workload: experiments describe their measurements as
 :class:`SimJob`\\ s, and :class:`SimEngine` executes them on a selectable
-backend (``reference`` or vectorized ``fast``), fans cache-missing jobs
-out over worker processes, and memoizes every result on disk keyed by a
-content hash of the job spec.  See ``docs/engine.md`` for the full tour.
+backend (``reference``, batched ``fast``, or whole-tile ``vector`` —
+conformance-tested bit-compatible, with ``vector`` ≥10x over the
+reference), fans cache-missing jobs out over worker processes, and
+memoizes every result on disk keyed by a content hash of the job spec.
+See ``docs/engine.md`` for the full tour.
 
 Quickstart::
 
     from repro.engine import SimEngine, SimJob
     from repro.hw.variations import PAPER_CORNERS
 
-    engine = SimEngine(backend="fast", jobs=4)
+    engine = SimEngine(backend="vector", jobs=4)
     reports = engine.run(SimJob(acts=acts, weights=weights,
                                 corners=PAPER_CORNERS,
                                 strategy="cluster_then_reorder"))
@@ -23,6 +25,7 @@ from .backends import (
     FastBackend,
     ReferenceBackend,
     SimulationBackend,
+    VectorBackend,
     backend_factory,
     backend_names,
     get_backend,
@@ -50,6 +53,7 @@ __all__ = [
     "SimEngine",
     "SimJob",
     "SimulationBackend",
+    "VectorBackend",
     "backend_factory",
     "backend_names",
     "cache_root",

@@ -7,11 +7,15 @@ the backend entirely — the scheduler hands every job the backend
 *factory* and lets the job decide (see
 :meth:`~repro.engine.job.EngineJob.execute`).
 
-Two backends ship with the engine:
+Three backends ship with the engine:
 
 * ``reference`` — the cycle-behavioural
   :class:`~repro.arch.systolic.SystolicArraySimulator`, unchanged.  Its
   semantics define correctness.
+* ``vector`` — whole-tile array folds in :mod:`repro.engine.vector`:
+  field-domain PSUM traces on narrow dtypes, survival-counted carry
+  chains and histogram-derived sign flips.  The fastest backend and the
+  default for the fig10/fig11 grids and the orchestrator sweep.
 * ``fast`` — a vectorized re-derivation of the same quantities.  Instead
   of walking pixel chunks and PVTA corners in Python, it runs each output
   -channel group's whole pixel set through one batched trace and exploits
@@ -25,11 +29,13 @@ Two backends ship with the engine:
   bits on the compact ``(pixels, C)`` / ``(m, C)`` operands rather than
   the expanded ``(pixels, m, C)`` streams.
 
-The fast backend is *bit-exact* on functional outputs and integer-valued
-statistics (sign flips, cycle counts, chain lengths) and agrees with the
-reference TER to float-summation-order differences (< 1e-9), which the
-equivalence suite in ``tests/test_engine.py`` enforces across dataflows,
-strategies and all paper corners.
+The batched backends are *bit-exact* on functional outputs and
+integer-valued statistics (sign flips, cycle counts, chain lengths) and
+agree with the reference TER to float-summation-order differences
+(< 1e-9), which the equivalence suite in ``tests/test_engine.py`` and
+the cross-backend conformance suite in
+``tests/test_backend_conformance.py`` enforce across dataflows,
+strategies, datapath widths and all paper corners.
 
 Third parties can plug in alternatives via :func:`register_backend`.
 """
@@ -46,7 +52,7 @@ from ..arch.systolic import LayerReliabilityReport, SystolicArraySimulator
 from ..errors import ConfigurationError, unknown_name_error
 from ..hw import fixedpoint as fp
 from ..hw.carry import accumulation_chain_lengths, highest_set_bit
-from ..hw.dta import DynamicTimingAnalyzer, _gaussian_sf
+from ..hw.dta import DynamicTimingAnalyzer, histogram_expected_errors
 from ..hw.fixedpoint import significant_bits
 from .job import SimJob
 
@@ -212,35 +218,14 @@ def _corner_error_sums(delay_bins, n_spans, delay_model, corners, clock_ps):
     ``delay_bins[mult_bits * n_spans + span]`` counts the cycles whose
     triggered path is ``launch + mult_per_bit * mult_bits +
     settle_per_bit * span`` — the per-cycle probability is a function of
-    the bin, so the sum over cycles is ``counts @ probabilities``.  All
-    Gaussian corners evaluate in one survival-function call on the tiny
-    ``(n_corners, n_occupied_bins)`` grid; degenerate ``sigma <= 0``
-    corners use the deterministic threshold, matching
-    :meth:`DynamicTimingAnalyzer.error_probabilities`.
+    the bin, so the sum over cycles is ``counts @ probabilities``.  The
+    reduction is shared with the ``vector`` backend via
+    :func:`repro.hw.dta.histogram_expected_errors`, so both batched
+    backends produce bit-identical TERs from identical histograms.
     """
-    occupied = np.nonzero(delay_bins)[0]
-    counts = delay_bins[occupied].astype(np.float64)
-    delays = (
-        delay_model.launch_ps
-        + delay_model.mult_per_bit_ps * (occupied // n_spans).astype(np.float64)
-        + delay_model.settle_per_bit_ps * (occupied % n_spans).astype(np.float64)
+    return histogram_expected_errors(
+        delay_bins, n_spans, delay_model, corners, clock_ps
     )
-    sums = np.zeros(len(corners), dtype=np.float64)
-    inv = clock_ps / delays
-    gaussian: List[int] = []
-    for i, corner in enumerate(corners):
-        if corner.sigma_derate <= 0:
-            sums[i] = float(
-                counts @ (delays * corner.mean_derate > clock_ps).astype(np.float64)
-            )
-        else:
-            gaussian.append(i)
-    if gaussian:
-        means = np.array([corners[i].mean_derate for i in gaussian])
-        sigmas = np.array([corners[i].sigma_derate for i in gaussian])
-        z = (inv[None, :] - means[:, None]) / sigmas[:, None]
-        sums[gaussian] = _gaussian_sf(z) @ counts
-    return sums
 
 
 # ---------------------------------------------------------------------- #
@@ -289,3 +274,8 @@ def get_backend(name: str) -> SimulationBackend:
 
 register_backend(ReferenceBackend.name, ReferenceBackend)
 register_backend(FastBackend.name, FastBackend)
+
+# Imported last: vector.py subclasses SimulationBackend from this module.
+from .vector import VectorBackend  # noqa: E402
+
+register_backend(VectorBackend.name, VectorBackend)

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import hashlib
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Tuple
 
@@ -46,6 +47,12 @@ from ..hw.variations import PvtaCondition
 #: Bump when the cached result layout or simulation semantics change;
 #: old cache entries then miss instead of deserializing garbage.
 CACHE_SCHEMA_VERSION = 1
+
+#: Per-process memo of materialized mapping plans (see
+#: :meth:`SimJob.build_plan`); bounded LRU so long sweeps cannot grow it
+#: without limit.
+_PLAN_CACHE: "OrderedDict[str, LayerMappingPlan]" = OrderedDict()
+_PLAN_CACHE_MAX = 128
 
 
 class EngineJob(ABC):
@@ -178,8 +185,23 @@ class SimJob(EngineJob):
         return self.group_size or self.config.cols
 
     def build_plan(self) -> LayerMappingPlan:
-        """Materialize the mapping plan this job prescribes."""
-        return plan_layer(
+        """Materialize (or recall) the mapping plan this job prescribes.
+
+        Plans are memoized per process, keyed by every plan-affecting
+        field: re-running a sweep re-plans nothing, and the backends'
+        repeated executions of one job (benchmarks, equivalence tests)
+        share a single planning pass.  Cached plans are treated as
+        immutable by every consumer.  A hit re-runs the degraded-
+        clustering diagnostic so warnings stay as loud as a fresh
+        :func:`plan_layer` call.
+        """
+        key = self._plan_key()
+        cached = _PLAN_CACHE.get(key)
+        if cached is not None:
+            _PLAN_CACHE.move_to_end(key)
+            self.check_plan(stacklevel=3)
+            return cached
+        plan = plan_layer(
             self.weights,
             group_size=self.resolved_group_size,
             strategy=self.strategy,
@@ -188,6 +210,26 @@ class SimJob(EngineJob):
             seed=self.seed,
             strict=self.strict,
         )
+        _PLAN_CACHE[key] = plan
+        if len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+            _PLAN_CACHE.popitem(last=False)
+        return plan
+
+    def _plan_key(self) -> str:
+        """Content hash of the plan-affecting fields only."""
+        h = hashlib.sha256()
+        _feed(h, "repro-plan")
+        _feed_array(h, "weights", self.weights)
+        _feed(
+            h,
+            self.resolved_group_size,
+            self.strategy.value,
+            self.criteria,
+            self.cluster_iterations,
+            self.seed,
+            self.strict,
+        )
+        return h.hexdigest()
 
     def check_plan(self, stacklevel: int = 3) -> None:
         """Run the planner's degraded-clustering diagnostic without planning.

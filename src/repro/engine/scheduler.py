@@ -103,12 +103,17 @@ class SimEngine:
         jobs: int = 1,
         use_cache: bool = True,
         cache_dir: Union[None, str, Path, ResultCache] = None,
+        backend_explicit: bool = True,
     ):
         get_backend(backend)  # validate the name eagerly
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self.backend_name = backend
         self.jobs = jobs
+        #: Whether ``backend`` was an explicit choice (constructor call,
+        #: CLI flag, environment) or just the built-in fallback.
+        #: :meth:`preferring` only overrides the fallback.
+        self.backend_explicit = backend_explicit
         if not use_cache:
             self.cache: Optional[ResultCache] = None
         elif isinstance(cache_dir, ResultCache):
@@ -116,6 +121,39 @@ class SimEngine:
         else:
             self.cache = ResultCache(cache_dir)
         self.stats = EngineStats()
+        #: Backends that actually simulated a cache-missing :class:`SimJob`
+        #: through this engine (shared with :meth:`preferring` twins), so
+        #: summaries report what really ran, not just what was configured.
+        self.used_backends: set = set()
+
+    def preferring(self, backend: str) -> "SimEngine":
+        """This engine, with ``backend`` substituted when none was chosen.
+
+        Workload-aware defaulting: the fig10/fig11 grids and the
+        orchestrator sweep prefer the ``vector`` backend (their jobs are
+        exactly what it accelerates), but an explicit user choice —
+        ``--backend``, ``REPRO_BACKEND``, or a programmatic
+        ``SimEngine(backend=...)`` — always wins.  The returned engine
+        shares this engine's cache and stats, so hit/miss accounting and
+        deduplication behave as one engine.
+        """
+        if self.backend_explicit or backend == self.backend_name:
+            return self
+        twin = SimEngine(
+            backend=backend,
+            jobs=self.jobs,
+            use_cache=self.cache is not None,
+            cache_dir=self.cache,
+        )
+        twin.stats = self.stats
+        twin.used_backends = self.used_backends
+        return twin
+
+    def effective_backend(self) -> str:
+        """What actually simulated: the configured backend, or — when a
+        :meth:`preferring` twin did the simulating — every backend that
+        executed a cache-missing simulation job, '+'-joined."""
+        return "+".join(sorted(self.used_backends)) or self.backend_name
 
     # ------------------------------------------------------------------ #
     def run(self, job: EngineJob):
@@ -177,6 +215,8 @@ class SimEngine:
                 for i in pending:
                     results[i] = jobs[i].execute(factory)
 
+        if any(jobs[i].kind == "sim" for i in pending):
+            self.used_backends.add(self.backend_name)
         for i in pending:
             self.stats.misses += 1
             if self.cache is not None:
@@ -215,13 +255,15 @@ def configure_default_engine(
     arguments win without the environment value even being parsed.
     """
     global _default_engine
+    resolved = backend if backend is not None else os.environ.get("REPRO_BACKEND")
     _default_engine = SimEngine(
-        backend=backend if backend is not None else os.environ.get("REPRO_BACKEND", "reference"),
+        backend=resolved if resolved is not None else "reference",
         jobs=jobs if jobs is not None else _env_jobs(),
         use_cache=use_cache
         if use_cache is not None
         else os.environ.get("REPRO_NO_CACHE", "") not in ("1", "true", "yes"),
         cache_dir=cache_dir,
+        backend_explicit=resolved is not None,
     )
     return _default_engine
 

@@ -1,0 +1,213 @@
+"""The ``vector`` backend: whole-layer-tile simulation as array folds.
+
+The ``fast`` backend already collapsed corner evaluation into a delay
+histogram, which left the per-cycle *trace* — carry chains, settle
+spans, sign flips — as the simulation's hot path (profiling shows the
+``longest_one_run`` scan and the signed<->field round trips dominate).
+This backend re-derives the identical trace statistics as a handful of
+whole-tensor passes over one ``(pixels, groups, PEs, cycles)`` tile:
+
+* **Field-domain arithmetic.**  Wrapped PSUM registers are congruences
+  mod ``2**width``, so the entire register trace is
+  ``cumsum(products) & mask`` — no signed wrap/encode round trips.  When
+  the datapath provably fits (``width <= 31`` and the worst-case running
+  sum under ``2**31``), everything runs in ``int32``/``float32``,
+  halving memory traffic; otherwise the same code runs in ``int64``.
+* **One shot per layer tile.**  All mapping groups of equal width stack
+  into a single tensor (`hw/mac.significance_matrices` prices every
+  (weight, activation) pairing from two compact matrices), so the Python
+  loop runs per *width class*, not per group.
+* **Survival-counted carry chains.**  The per-cycle longest-run scan is
+  replaced by :func:`repro.hw.carry.chain_length_sum`, which needs only
+  one ``count_nonzero`` per surviving run length and compacts the
+  survivor set once it turns sparse.
+* **Histogram sign flips.**  A PSUM sign flip is exactly a full-width
+  toggle span (see :mod:`repro.hw.carry`), so under output-stationary
+  adjacency the flip count is read off the delay histogram's
+  ``span == width`` column — no separate pass.  Weight-stationary
+  adjacency goes through
+  :func:`repro.arch.systolic.weight_stationary_fold`.
+* **Broadcast corner pricing.**  Like ``fast``, all PVTA corners
+  evaluate against the packed ``(mult_bits, span)`` histogram in one
+  survival-function call
+  (:func:`repro.hw.dta.histogram_expected_errors`).
+
+The contract is the same as ``fast``'s, enforced by
+``tests/test_backend_conformance.py``: functional outputs and
+integer-valued statistics are bit-exact against ``reference``, TER
+agrees within 1e-9 (float summation order is the only freedom), and the
+TER is bit-identical to ``fast``'s (both reduce the identical
+histogram).  ``benchmarks/test_bench_engine.py`` records the speedup
+(>= 10x over ``reference``) into ``BENCH_engine.json``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..arch.config import Dataflow
+from ..arch.systolic import LayerReliabilityReport, weight_stationary_fold
+from ..hw.carry import chain_length_sum, live_carry_fields
+from ..hw.dta import histogram_expected_errors
+from ..hw.mac import significance_matrices
+from .backends import SimulationBackend
+from .job import SimJob
+
+#: Peak per-temporary size of a batched tile, in elements.  Unlike the
+#: fast backend's bound (which only caps peak *memory*), this one is
+#: tuned so the pipeline's handful of int32 per-cycle buffers together
+#: stay cache-resident — the passes are memory-bound, and a cache-sized
+#: tile runs them several times faster than a DRAM-sized one.  Tiles are
+#: cut along whole ``pixel_chunk`` multiples and, for wide layers, along
+#: the stacked group axis.
+_MAX_BLOCK_ELEMENTS = 128_000
+
+
+class VectorBackend(SimulationBackend):
+    """Whole-tile vectorized evaluation (see module docstring)."""
+
+    name = "vector"
+
+    def run(self, job: SimJob) -> Dict[str, LayerReliabilityReport]:
+        config = job.config
+        plan = job.build_plan()
+        acts, weights = job.acts, job.weights
+        width = config.mac.psum_width
+        delay_model = config.delay_model
+        clock = config.nominal_clock_ps()
+        ws = config.dataflow is Dataflow.WEIGHT_STATIONARY
+
+        n_pixels, c_eff = acts.shape
+        k = weights.shape[1]
+        outputs = np.zeros((n_pixels, k), dtype=np.int64)
+
+        # Datapath dtype election: int32/float32 when provably exact.
+        amax = int(np.abs(acts).max(initial=0))
+        wmax = int(np.abs(weights).max(initial=0))
+        prefix_bound = c_eff * amax * wmax
+        use32 = width <= 31 and prefix_bound < 2**31 - 1
+        dtype = np.int32 if use32 else np.int64
+        float_dtype = np.float32 if width <= 24 else np.float64
+        mask = dtype((1 << width) - 1)
+        sign_field = 1 << (width - 1)
+
+        # Significance-bit matrices for all (weight, activation) pairs in
+        # one shot, pre-scaled to histogram-key strides.
+        n_spans = width + 1
+        a_bits, w_bits = significance_matrices(acts, weights)
+        n_mult_nominal = config.mac.act_width + config.mac.weight_width + 1
+        max_mult = int(a_bits.max(initial=0) + w_bits.max(initial=0))
+        n_mult = max(n_mult_nominal, max_mult + 1)
+        delay_bins = np.zeros(n_mult * n_spans, dtype=np.int64)
+        a_keys = (a_bits * n_spans).astype(np.int32)  # (n_pixels, C_eff)
+        w_keys_all = (w_bits * n_spans).astype(np.int32)  # (C_eff, K)
+
+        acts_c = acts.astype(dtype, copy=False)
+        chain_sum = 0
+        flip_sum = 0
+        flip_cycles = 0
+        n_cycles = 0
+
+        for m, width_groups in _groups_by_width(plan).items():
+            # Wide layers stack many groups; tile the group axis too so
+            # one pixel chunk of the stack still fits the cache bound.
+            per_group = m * c_eff * job.pixel_chunk
+            g_per_tile = max(1, _MAX_BLOCK_ELEMENTS // max(1, per_group))
+            for g_start in range(0, len(width_groups), g_per_tile):
+                groups = width_groups[g_start : g_start + g_per_tile]
+                orders = np.stack([g.order for g in groups])  # (G, C_eff)
+                columns = np.concatenate([g.columns for g in groups])  # (G*m,)
+                w_c = np.stack(
+                    [np.asarray(g.weights).T for g in groups]
+                ).astype(dtype)  # (G, m, C_eff)
+                # group.weights == W[order][:, columns], so the pairwise
+                # significance keys gather from the one-shot matrices above.
+                w_keys = np.stack(
+                    [w_keys_all[g.order][:, g.columns].T for g in groups]
+                )  # (G, m, C_eff)
+
+                cycles_per_pixel = len(groups) * m * c_eff
+                block = _pixel_block(job.pixel_chunk, cycles_per_pixel)
+                for start in range(0, n_pixels, block):
+                    acts_g = acts_c[start : start + block][:, orders]  # (p, G, C)
+                    prod = acts_g[:, :, None, :] * w_c[None]  # (p, G, m, C)
+                    # dtype pinned: cumsum would silently promote int32
+                    # to int64 and double the traffic of every pass below
+                    fields = np.cumsum(prod, axis=-1, dtype=dtype)
+                    fields &= mask  # PSUM register fields, every cycle
+                    n_cycles += prod.size
+
+                    # Carry chains from the field-domain live runs.
+                    prod &= mask  # wrapped addend fields, in place
+                    chain_sum += chain_length_sum(live_carry_fields(fields, prod))
+
+                    # Native (within-pixel) settle spans via frexp: the
+                    # exponent of the cycle-adjacent XOR is its toggle span.
+                    xor = np.empty_like(fields)
+                    np.bitwise_xor(fields[..., 1:], fields[..., :-1], out=xor[..., 1:])
+                    xor[..., 0] = fields[..., 0]
+                    _, spans = np.frexp(xor.astype(float_dtype))  # int32 exponents
+
+                    if ws:
+                        spans, flips, transitions = weight_stationary_fold(
+                            fields, spans, job.pixel_chunk, width
+                        )
+                        flip_sum += flips
+                        flip_cycles += transitions
+
+                    # Delay histogram: key = (act_bits + weight_bits) * n_spans
+                    # + span, folded over the whole tile in one bincount.
+                    spans += a_keys[start : start + block][:, orders][:, :, None, :]
+                    spans += w_keys[None]
+                    delay_bins += np.bincount(
+                        spans.reshape(-1), minlength=delay_bins.size
+                    )
+
+                    last = fields[..., -1].astype(np.int64)  # (p, G, m) output fields
+                    outputs[start : start + block][:, columns] = np.where(
+                        last >= sign_field, last - (1 << width), last
+                    ).reshape(last.shape[0], -1)
+
+        if not ws:
+            # Output-stationary sign flips come free from the histogram: a
+            # PSUM sign flip is exactly a full-width toggle span.
+            flip_sum = int(delay_bins.reshape(n_mult, n_spans)[:, width].sum())
+            flip_cycles = n_cycles
+
+        prob_sums = histogram_expected_errors(
+            delay_bins, n_spans, delay_model, job.corners, clock
+        )
+        reports = {}
+        for i, corner in enumerate(job.corners):
+            reports[corner.name] = LayerReliabilityReport(
+                ter=float(prob_sums[i]) / max(n_cycles, 1),
+                sign_flip_rate=flip_sum / max(flip_cycles, 1),
+                n_cycles=n_cycles,
+                mean_chain_length=chain_sum / max(n_cycles, 1),
+                outputs=outputs,
+                n_macs_per_output=c_eff,
+                strategy=plan.strategy.value,
+                corner_name=corner.name,
+            )
+        return reports
+
+
+def _groups_by_width(plan) -> Dict[int, List[object]]:
+    """Plan groups keyed by output-channel count, plan order preserved.
+
+    Groups of equal width stack into one tensor; an indivisible ``K``
+    leaves one narrower trailing group, which simply forms its own
+    (singleton) width class.
+    """
+    by_width: Dict[int, List[object]] = {}
+    for group in plan.groups:
+        by_width.setdefault(len(group.columns), []).append(group)
+    return by_width
+
+
+def _pixel_block(pixel_chunk: int, cycles_per_pixel: int) -> int:
+    """Pixels per batched tile: a ``pixel_chunk`` multiple under the bound."""
+    chunks = max(1, _MAX_BLOCK_ELEMENTS // max(1, cycles_per_pixel * pixel_chunk))
+    return chunks * pixel_chunk

@@ -13,7 +13,8 @@ the accuracy grid is one :class:`~repro.faults.InjectionJob`, so the
 whole figure — simulation and injection — runs as two cached, parallel
 ``run_many`` submissions with no bespoke loops.
 
-Example: ``read-repro fig10 --scale small --backend fast --jobs 4``
+Example: ``read-repro fig10 --scale small --jobs 4`` (the TER grids
+default to the ``vector`` backend; ``--backend`` overrides).
 """
 
 from __future__ import annotations
@@ -88,6 +89,9 @@ def injection_jobs_for_grid(
         corners=list(corners),
         strategies=strategies,
         max_pixels=scale.ter_pixels,
+        # The grid's TER batch is exactly the workload the vector backend
+        # accelerates; an explicit --backend / REPRO_BACKEND still wins.
+        engine=default_engine().preferring("vector"),
     )
     n_macs = macs_per_layer(records)
     jobs: List[InjectionJob] = []

@@ -9,7 +9,8 @@ inputs)").
 Like Fig. 10, both the layer-TER measurements and the per-(strategy,
 corner) injection campaigns are engine job batches.
 
-Example: ``read-repro fig11 --scale small --backend fast --jobs 4``
+Example: ``read-repro fig11 --scale small --jobs 4`` (the TER grids
+default to the ``vector`` backend; ``--backend`` overrides).
 """
 
 from __future__ import annotations

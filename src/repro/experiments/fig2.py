@@ -11,7 +11,7 @@ mapping strategies (which is what varies the sign-flip rate), measured at
 the TER evaluation corner.  The runner reports the Pearson correlation of
 log(sign-flip rate) vs. log(TER).
 
-Example: ``read-repro fig2 --scale small --backend fast --jobs 4``
+Example: ``read-repro fig2 --scale small --backend vector --jobs 4``
 """
 
 from __future__ import annotations

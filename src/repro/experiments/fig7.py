@@ -7,7 +7,7 @@ findings reproduced here: all reorderings beat the baseline; reordering
 gets less effective as the group widens; ``sign_first`` beats
 ``mag_first``; clustering helps most at large group sizes.
 
-Example: ``read-repro fig7 --scale small --backend fast``
+Example: ``read-repro fig7 --scale small --backend vector``
 """
 
 from __future__ import annotations

@@ -7,7 +7,7 @@ reports average reductions of 4.9x (reorder) and 7.8x (cluster-then-
 reorder) and a best layer of 37.9x; the reproduction reports the same
 statistics over our substrate.
 
-Example: ``read-repro fig8 --scale small --backend fast --jobs 4``
+Example: ``read-repro fig8 --scale small --backend vector --jobs 4``
 """
 
 from __future__ import annotations

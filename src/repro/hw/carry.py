@@ -76,7 +76,7 @@ def longest_one_run(fields: np.ndarray, width: int) -> np.ndarray:
     the bits that start a run of length >= 2), iterating only up to the
     longest run actually present instead of a fixed ``width`` scan.
 
-    >>> int(longest_one_run(np.array([0b0110111]), 8))
+    >>> int(longest_one_run(np.array([0b0110111]), 8)[0])
     3
     """
     f = np.asarray(fields, dtype=np.int64)
@@ -99,7 +99,7 @@ def highest_set_bit(fields: np.ndarray, width: int) -> np.ndarray:
     one vectorized pass, exact because every field value is an exactly
     representable integer; wider fields fall back to a per-bit scan.
 
-    >>> int(highest_set_bit(np.array([0b0010100]), 8))
+    >>> int(highest_set_bit(np.array([0b0010100]), 8)[0])
     5
     """
     f = np.asarray(fields, dtype=np.int64) & np.int64((1 << width) - 1)
@@ -111,6 +111,103 @@ def highest_set_bit(fields: np.ndarray, width: int) -> np.ndarray:
         mask = ((f >> i) & 1) == 1
         out[mask] = i + 1
     return out
+
+
+def live_carry_fields(
+    psum_fields: np.ndarray, addend_fields: np.ndarray
+) -> np.ndarray:
+    """Live carry-run bit fields of a whole accumulation, in one shot.
+
+    Field-domain core of :func:`add_trace`, vectorized over every cycle of
+    an accumulation at once: ``psum_fields[..., j]`` is the register field
+    *after* cycle ``j`` (``s`` in the identity below) and
+    ``addend_fields[..., j]`` the wrapped product field added that cycle
+    (``b``).  The accumulator starts at zero (the paper's
+    output-stationary reset), so cycle 0's previous field is 0.  Since
+    ``a = s_prev`` and ``c = a ^ b ^ s``, the live run
+    field is ``(a ^ b) & (a ^ b ^ s)`` — computed here without ever
+    materializing the signed values, which is what lets the ``vector``
+    backend run on narrow integer dtypes.  Bits of the result mark adder
+    stages a carry actually traversed; feed it to
+    :func:`chain_length_sum` (or :func:`longest_one_run`).
+    """
+    propagate = np.empty_like(psum_fields)
+    np.bitwise_xor(
+        psum_fields[..., :-1], addend_fields[..., 1:], out=propagate[..., 1:]
+    )
+    propagate[..., 0] = addend_fields[..., 0]  # cycle 0: previous field is 0
+    live = propagate ^ psum_fields  # carry into each bit: a ^ b ^ s
+    live &= propagate
+    return live
+
+
+#: Packed longest-run lookup tables over 16-bit limbs, built lazily:
+#: ``_RUN_LO[v] = longest_run | leading_ones << 8`` and
+#: ``_RUN_HI[v] = longest_run | trailing_ones << 8``.
+_RUN_LUTS: tuple = ()
+
+
+def _run_luts() -> tuple:
+    """Build (once) the 16-bit longest-run/edge-ones lookup tables."""
+    global _RUN_LUTS
+    if _RUN_LUTS:
+        return _RUN_LUTS
+    v = np.arange(1 << 16, dtype=np.int32)
+    longest = longest_one_run(v, 16).astype(np.int32)
+    # Leading ones: 16 minus the highest *zero* position; trailing ones:
+    # the position of the lowest zero bit, minus one.
+    leading = np.int32(16) - highest_set_bit(v ^ 0xFFFF, 16).astype(np.int32)
+    _, low_zero = np.frexp((~v & (v + 1)).astype(np.float64))
+    trailing = low_zero.astype(np.int32) - 1
+    _RUN_LUTS = (
+        (longest | (leading << 8)).astype(np.int16),
+        (longest | (trailing << 8)).astype(np.int16),
+    )
+    return _RUN_LUTS
+
+
+def chain_length_sum(live_fields: np.ndarray) -> int:
+    """Total carry-chain length over all cycles, without per-cycle scans.
+
+    Equivalent to ``np.where(L > 0, L + 1, 0).sum()`` with ``L =``
+    :func:`longest_one_run` — the per-cycle chain metric of
+    :func:`add_trace` — but in a fixed handful of whole-array ops: each
+    field splits into two 16-bit limbs, whose longest runs (and the run
+    crossing the limb boundary, the low limb's leading ones plus the high
+    limb's trailing ones) come from precomputed 65536-entry tables:
+
+        ``L(x) = max(L(lo), L(hi), leading_ones(lo) + trailing_ones(hi))``
+
+    This is the ``vector`` backend's replacement for the per-cycle
+    ``longest_one_run`` scan; fields at or above 2**32 (wider than any
+    MAC accumulator) fall back to shift-and survival counting.
+    """
+    live = np.asarray(live_fields).reshape(-1)
+    n_live = int(np.count_nonzero(live))
+    if n_live == 0:
+        return 0
+    if live.dtype != np.int32 and int(live.max()) >= 1 << 32:
+        return _chain_length_sum_survival(live, n_live)
+    lut_lo, lut_hi = _run_luts()
+    packed_lo = np.take(lut_lo, live & 0xFFFF)
+    packed_hi = np.take(lut_hi, live >> 16)
+    runs = np.maximum(packed_lo & 0xFF, packed_hi & 0xFF)
+    crossing = packed_lo >> 8
+    crossing += packed_hi >> 8
+    np.maximum(runs, crossing, out=runs)
+    return n_live + int(runs.sum(dtype=np.int64))
+
+
+def _chain_length_sum_survival(live: np.ndarray, n_live: int) -> int:
+    """Survival-counting fallback for fields wider than 32 bits."""
+    total = 2 * n_live  # every live run: its first stage + the generating stage
+    cur = live & (live >> 1)  # first reduction in a fresh buffer
+    while True:
+        cur = cur[cur != 0]
+        if cur.size == 0:
+            return total
+        total += cur.size
+        cur &= cur >> 1
 
 
 def add_trace(a: np.ndarray, b: np.ndarray, width: int = fp.PSUM_WIDTH) -> AdditionTrace:

@@ -27,17 +27,49 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
-from scipy.special import erfc
 
 from ..errors import ConfigurationError
 from .mac import MacConfig, MacTrace, MacUnit
 from .timing import DelayModel, StaticTimingAnalyzer
-from .variations import IDEAL, PvtaCondition
+from .variations import (
+    IDEAL,
+    PvtaCondition,
+    error_probability_matrix,
+    gaussian_survival,
+)
+
+#: Backwards-compatible alias; the implementation lives in
+#: :func:`repro.hw.variations.gaussian_survival` so the batched backends
+#: and the per-cycle DTA share one definition.
+_gaussian_sf = gaussian_survival
 
 
-def _gaussian_sf(z: np.ndarray) -> np.ndarray:
-    """Standard normal survival function, vectorized and overflow-safe."""
-    return 0.5 * erfc(z / np.sqrt(2.0))
+def histogram_expected_errors(
+    delay_bins: np.ndarray,
+    n_spans: int,
+    delay_model: DelayModel,
+    corners,
+    clock_ps: float,
+) -> np.ndarray:
+    """Expected error count at each corner from a packed delay histogram.
+
+    The batched backends reduce a job to
+    ``delay_bins[mult_bits * n_spans + span] = cycle count``: the
+    triggered delay — and hence the per-corner error probability — is a
+    function of the bin, so the expected number of violating cycles is
+    ``probabilities @ counts`` over the occupied bins.  Delays come from
+    :meth:`DelayModel.bin_delays_ps` and probabilities from
+    :func:`repro.hw.variations.error_probability_matrix`, so each corner
+    prices a bin with the exact float expression of
+    :meth:`DynamicTimingAnalyzer.error_probabilities` — the only
+    difference from the per-cycle path is float summation order.
+
+    Returns one expected-error sum per corner, aligned with ``corners``.
+    """
+    occupied = np.nonzero(delay_bins)[0]
+    counts = delay_bins[occupied].astype(np.float64)
+    delays = delay_model.bin_delays_ps(occupied, n_spans)
+    return error_probability_matrix(delays, corners, clock_ps) @ counts
 
 
 @dataclass(frozen=True)

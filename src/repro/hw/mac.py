@@ -96,6 +96,23 @@ class MacTrace:
         return float(self.sign_flips.mean())
 
 
+def significance_matrices(
+    acts: np.ndarray, weights: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-operand multiplier-significance matrices, in one shot.
+
+    The multiplier term of the delay surrogate depends only on the
+    operands' significant-bit counts, and those are separable: the
+    triggered multiplier depth of any (activation ``i``, weight ``j``)
+    pairing is ``act_bits[i] + weight_bits[j]``.  Computing the two
+    compact matrices once therefore prices the multiplier for *all*
+    pairs a layer tile can schedule — the ``vector`` backend broadcasts
+    these instead of expanding per-cycle operand streams the way
+    :meth:`MacUnit.run` does.
+    """
+    return fp.significant_bits(acts), fp.significant_bits(weights)
+
+
 class MacUnit:
     """Vectorized TPU-style multiply-accumulate unit.
 

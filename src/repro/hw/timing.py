@@ -64,6 +64,23 @@ class DelayModel:
             + self.settle_per_bit_ps * trace.toggle_spans.astype(np.float64)
         )
 
+    def bin_delays_ps(self, bins: np.ndarray, n_spans: int) -> np.ndarray:
+        """Triggered-path delay of packed ``(mult_bits, toggle_span)`` bins.
+
+        The batched backends collapse a whole job into a histogram over
+        ``bin = mult_bits * n_spans + toggle_span``; this evaluates the
+        surrogate once per *occupied bin* instead of once per cycle.  The
+        float expression matches :meth:`cycle_delays` term for term, so a
+        bin's delay is bit-identical to the per-cycle delay of any cycle
+        it counts.
+        """
+        bins = np.asarray(bins)
+        return (
+            self.launch_ps
+            + self.mult_per_bit_ps * (bins // n_spans).astype(np.float64)
+            + self.settle_per_bit_ps * (bins % n_spans).astype(np.float64)
+        )
+
     def max_delay_ps(self, config: MacConfig) -> float:
         """Worst structural path: full multiplier depth + full-span settle."""
         mult_bits = config.act_width + config.weight_width

@@ -1,0 +1,217 @@
+"""Cross-backend conformance: every backend must match ``reference``.
+
+The contract that licenses any backend to fill the shared result cache
+(and to power the figures): on *any* job — seeded randomized operand
+matrices across datapath widths, dataflows, mapping strategies, job
+scales, corner subsets and chunk/tile geometries — its reports must be
+
+* bit-exact against ``reference`` on functional ``outputs`` and every
+  integer-valued statistic, and
+* within 1e-9 on the float statistics (TER, sign-flip rate, mean chain
+  length), float summation order being the only permitted freedom.
+
+By default every registered backend except ``reference`` is screened;
+``pytest tests/test_backend_conformance.py --backend vector`` (the
+option is repeatable) restricts the run to the named candidate(s) —
+that is how the CI conformance job runs one matrix leg per backend.
+
+The reference result of each case is computed once per session and
+shared across candidate backends.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.arch import AcceleratorConfig, Dataflow
+from repro.core import MappingStrategy
+from repro.engine import SimJob, backend_names, get_backend
+from repro.engine import vector as vector_module
+from repro.errors import MappingFallbackWarning
+from repro.hw.mac import MacConfig
+from repro.hw.variations import (
+    AGING_VT_5,
+    IDEAL,
+    PAPER_CORNERS,
+    TER_EVAL_CORNER,
+    VT_3,
+)
+
+#: Float tolerance of the conformance contract.
+TOL = 1e-9
+
+
+def candidate_backends(config) -> list:
+    requested = config.getoption("--backend")
+    if requested:
+        for name in requested:
+            get_backend(name)  # fail fast on typos, listing valid names
+        return list(dict.fromkeys(requested))
+    return [name for name in backend_names() if name != "reference"]
+
+
+def pytest_generate_tests(metafunc):
+    if "backend" in metafunc.fixturenames:
+        metafunc.parametrize("backend", candidate_backends(metafunc.config))
+
+
+def _case(
+    seed,
+    n_pixels=13,
+    c_eff=24,
+    k=8,
+    act_width=8,
+    weight_width=8,
+    psum_width=24,
+    act_signed=False,
+    dataflow=Dataflow.OUTPUT_STATIONARY,
+    strategy=MappingStrategy.BASELINE,
+    criteria="sign_first",
+    group_size=4,
+    pixel_chunk=5,
+    corners=PAPER_CORNERS,
+    act_range=None,
+    weight_range=None,
+):
+    """One seeded randomized job spec (operands drawn inside the datapath)."""
+    rng = np.random.default_rng(seed)
+    if act_range is None:
+        act_range = (
+            (-(1 << (act_width - 1)), 1 << (act_width - 1))
+            if act_signed
+            else (0, 1 << act_width)
+        )
+    if weight_range is None:
+        weight_range = (-(1 << (weight_width - 1)), 1 << (weight_width - 1))
+    acts = rng.integers(*act_range, size=(n_pixels, c_eff))
+    weights = rng.integers(*weight_range, size=(c_eff, k))
+    config = AcceleratorConfig(
+        mac=MacConfig(
+            act_width=act_width,
+            weight_width=weight_width,
+            psum_width=psum_width,
+            act_signed=act_signed,
+        ),
+        dataflow=dataflow,
+    )
+    return SimJob(
+        acts=acts,
+        weights=weights,
+        corners=corners,
+        group_size=group_size,
+        strategy=strategy,
+        criteria=criteria,
+        config=config,
+        pixel_chunk=pixel_chunk,
+    )
+
+
+#: The conformance catalog: every axis the backends must agree on.
+CASES = {
+    # strategies x dataflows
+    **{
+        f"{df.value}:{s.value}": _case(
+            seed=31 * i + j, dataflow=df, strategy=s
+        )
+        for i, df in enumerate(Dataflow)
+        for j, s in enumerate(MappingStrategy)
+    },
+    # mag-first reorder criteria
+    "criteria:mag_first": _case(seed=40, strategy=MappingStrategy.REORDER, criteria="mag_first"),
+    # operand widths: narrow, asymmetric, signed activations, wide PSUM
+    "width:4x4x9": _case(seed=41, act_width=4, weight_width=4, psum_width=9, act_signed=True),
+    "width:6x3x10": _case(seed=42, act_width=6, weight_width=3, psum_width=10),
+    "width:12x12x32": _case(seed=43, act_width=12, weight_width=12, psum_width=32, act_signed=True),
+    "width:8x8x25": _case(seed=44, psum_width=25),
+    "width:16x8x31": _case(seed=45, act_width=16, weight_width=8, psum_width=31),
+    # scales: single pixel, single output channel, chunk-straddling pixel
+    # counts, wide layers that exercise group-axis tiling
+    "scale:1px": _case(seed=50, n_pixels=1, dataflow=Dataflow.WEIGHT_STATIONARY,
+                       strategy=MappingStrategy.REORDER),
+    "scale:1col": _case(seed=51, k=1, group_size=1),
+    "scale:chunk-straddle": _case(seed=52, n_pixels=11, pixel_chunk=4,
+                                  dataflow=Dataflow.WEIGHT_STATIONARY),
+    "scale:wide": _case(seed=53, n_pixels=6, c_eff=96, k=40, group_size=4),
+    "scale:whole-layer-group": _case(seed=54, k=6, group_size=6,
+                                     strategy=MappingStrategy.REORDER),
+    # corner subsets (single corner, reordered subset)
+    "corners:eval-only": _case(seed=60, corners=(TER_EVAL_CORNER,)),
+    "corners:subset": _case(seed=61, corners=(AGING_VT_5, IDEAL, VT_3)),
+    # operands beyond the nominal datapath (SimJob does not range-check)
+    "operands:beyond-datapath": _case(
+        seed=62, c_eff=8, k=4, group_size=2,
+        act_range=(0, 70000), weight_range=(-3, 4),
+    ),
+    # int64 escape hatch: running sums too wide for the int32 fast path
+    "operands:int64-path": _case(
+        seed=63, c_eff=40, k=4, group_size=2, psum_width=32,
+        act_width=16, weight_width=16,
+        act_range=(0, 1 << 16), weight_range=(-(1 << 15), 1 << 15),
+    ),
+}
+
+
+@pytest.fixture(scope="session")
+def reference_reports():
+    cache = {}
+
+    def compute(name):
+        if name not in cache:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", MappingFallbackWarning)
+                cache[name] = get_backend("reference").run(CASES[name])
+        return cache[name]
+
+    return compute
+
+
+def assert_conformant(ref, got, backend):
+    assert set(ref) == set(got)
+    for corner_name in ref:
+        r, g = ref[corner_name], got[corner_name]
+        assert np.array_equal(r.outputs, g.outputs), (backend, corner_name)
+        assert r.outputs.dtype == g.outputs.dtype
+        assert r.n_cycles == g.n_cycles
+        assert r.n_macs_per_output == g.n_macs_per_output
+        assert r.strategy == g.strategy
+        assert r.corner_name == g.corner_name == corner_name
+        assert abs(r.ter - g.ter) <= TOL, (backend, corner_name, r.ter, g.ter)
+        assert abs(r.sign_flip_rate - g.sign_flip_rate) <= TOL
+        assert abs(r.mean_chain_length - g.mean_chain_length) <= TOL
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_conformance(case, backend, reference_reports):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", MappingFallbackWarning)
+        got = get_backend(backend).run(CASES[case])
+    assert_conformant(reference_reports(case), got, backend)
+
+
+def test_conformance_under_tiling(backend, reference_reports, monkeypatch):
+    """Results must not move when tiles shrink to a single pixel chunk."""
+    monkeypatch.setattr(vector_module, "_MAX_BLOCK_ELEMENTS", 1)
+    from repro.engine import backends as backends_module
+
+    monkeypatch.setattr(backends_module, "_MAX_BLOCK_ELEMENTS", 1)
+    for case in ("scale:wide", "scale:chunk-straddle", "output_stationary:reorder"):
+        got = get_backend(backend).run(CASES[case])
+        assert_conformant(reference_reports(case), got, backend)
+
+
+def test_conformance_ter_matches_fast_bitwise(backend):
+    """Histogram backends reduce identical histograms: TERs are equal."""
+    if backend == "fast":
+        pytest.skip("self-comparison")
+    job = CASES["output_stationary:cluster_then_reorder"]
+    fast = get_backend("fast").run(job)
+    got = get_backend(backend).run(job)
+    for corner_name in fast:
+        assert fast[corner_name].ter == got[corner_name].ter
+
+
+def test_backend_option_validates_names(pytestconfig):
+    requested = pytestconfig.getoption("--backend")
+    if requested:
+        assert set(requested) <= set(backend_names())

@@ -1,0 +1,152 @@
+"""Golden regression fixtures: figure-level numbers cannot drift silently.
+
+``tests/golden/*.json`` pins the micro-scale summaries of fig2 and fig7
+and the static Table I rows.  Any change that moves a figure-level
+number — a backend bug, a planner change, a delay-model edit — fails
+here with a numeric diff, even if every unit invariant still holds.
+
+Intentional changes are re-pinned with::
+
+    python -m pytest tests/test_golden_figures.py --update-golden
+
+then reviewed like any other diff: the fixture files *are* the claim
+that the figures still say what they said.
+
+Floats are compared at 1e-6 relative tolerance (and stored rounded to
+10 significant digits), far above the 1e-9 cross-backend freedom and
+far below any real regression.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.engine import SimEngine, engine_context
+from repro.experiments import fig2, fig7, table1
+from repro.experiments.common import get_scale
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Relative tolerance for stored floats.
+RTOL = 1e-6
+
+#: The scale every golden fixture is pinned at.
+SCALE = "micro"
+
+
+def _rounded(value):
+    """Canonicalize a payload for storage (floats to 10 significant digits)."""
+    if isinstance(value, float):
+        return float(f"{value:.10g}")
+    if isinstance(value, dict):
+        return {k: _rounded(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_rounded(v) for v in value]
+    return value
+
+
+def _assert_matches(expected, actual, path=""):
+    if isinstance(expected, float) or isinstance(actual, float):
+        expected_f, actual_f = float(expected), float(actual)
+        if math.isnan(expected_f) and math.isnan(actual_f):
+            return
+        assert math.isclose(expected_f, actual_f, rel_tol=RTOL, abs_tol=1e-300), (
+            f"golden drift at {path or '<root>'}: {expected_f!r} -> {actual_f!r}"
+        )
+    elif isinstance(expected, dict):
+        assert isinstance(actual, dict) and set(expected) == set(actual), path
+        for key in expected:
+            _assert_matches(expected[key], actual[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert isinstance(actual, list) and len(expected) == len(actual), path
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            _assert_matches(e, a, f"{path}[{i}]")
+    else:
+        assert expected == actual, f"golden drift at {path}: {expected!r} -> {actual!r}"
+
+
+def check_golden(name, payload, update):
+    payload = _rounded(payload)
+    path = GOLDEN_DIR / f"{name}.json"
+    if update:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"golden fixture {path} is missing; generate it with "
+        "`python -m pytest tests/test_golden_figures.py --update-golden`"
+    )
+    _assert_matches(json.loads(path.read_text()), payload, name)
+
+
+@pytest.fixture()
+def update_golden(pytestconfig):
+    return pytestconfig.getoption("--update-golden")
+
+
+@pytest.fixture()
+def golden_engine(tmp_path):
+    """An engine with a throwaway result cache.
+
+    Deliberately *not* the shared repo cache: golden tests exist to
+    re-execute the figure pipeline, and recalling warm repo-cache entries
+    would mask exactly the code regressions (and re-pin stale numbers
+    under ``--update-golden``) that this suite guards against.  A
+    tmp-path cache keeps within-run deduplication while guaranteeing
+    every session simulates from scratch.
+    """
+    with engine_context(SimEngine(backend="vector", cache_dir=tmp_path)) as engine:
+        yield engine
+
+
+def test_golden_fig2_micro(update_golden, golden_engine):
+    result = fig2.run(scale=get_scale(SCALE))
+    payload = {
+        "scale": SCALE,
+        "correlation": result.correlation,
+        "points": [
+            {
+                "layer": p.layer,
+                "strategy": p.strategy,
+                "dataflow": p.dataflow,
+                "sign_flip_rate": p.sign_flip_rate,
+                "ter": p.ter,
+            }
+            for p in result.points
+        ],
+    }
+    check_golden("fig2_micro", payload, update_golden)
+
+
+def test_golden_fig7_micro(update_golden, golden_engine):
+    result = fig7.run(scale=get_scale(SCALE))
+    payload = {
+        "scale": SCALE,
+        "layer": result.layer,
+        "corner": result.corner_name,
+        "group_sizes": result.group_sizes,
+        "ter": result.ter,
+    }
+    check_golden("fig7_micro", payload, update_golden)
+
+
+def test_golden_table1(update_golden):
+    rows = table1.run()
+    payload = {
+        "rows": [
+            {
+                "method": r.method,
+                "layer": r.layer,
+                "scalable_with_technology": r.scalable_with_technology,
+                "accuracy_loss": r.accuracy_loss,
+                "hardware_overhead": r.hardware_overhead,
+                "throughput_drop": r.throughput_drop,
+                "design_effort": r.design_effort,
+            }
+            for r in rows
+        ],
+        "rendered": table1.render(rows),
+    }
+    check_golden("table1", payload, update_golden)
