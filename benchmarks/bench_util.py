@@ -7,7 +7,36 @@ registers the ``--backend`` / ``--update-golden`` options), a bare
 module it resolves to.
 """
 
+import time
+
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Benchmark an experiment with one warm round (training is cached)."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def timed(fn, *args, repeats=2):
+    """Best-of-N wall clock (seconds) to damp scheduler noise."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def timed_interleaved(contenders, repeats=3):
+    """Best-of-N wall clock per contender, rounds interleaved.
+
+    Alternating the contenders inside each round keeps slow drift (CPU
+    throttling, cgroup scheduling) from biasing whichever side happens to
+    run first — the reference host is a 1-core shared runner with ±10 %
+    noise, so asserted speedup floors should always be measured this way.
+    """
+    best = [float("inf")] * len(contenders)
+    for _ in range(repeats):
+        for i, fn in enumerate(contenders):
+            start = time.perf_counter()
+            fn()
+            best[i] = min(best[i], time.perf_counter() - start)
+    return best

@@ -24,7 +24,6 @@ ratios, interleaved best-of-N to damp shared-runner noise).
 
 import json
 import os
-import time
 from pathlib import Path
 
 import numpy as np
@@ -33,7 +32,7 @@ from repro.core import MappingStrategy
 from repro.engine import SimEngine, SimJob
 from repro.hw.variations import PAPER_CORNERS
 
-from bench_util import run_once
+from bench_util import run_once, timed, timed_interleaved
 
 #: Machine-readable bench record, at the repository root.
 BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
@@ -110,32 +109,6 @@ def make_jobs(n_jobs=6, n_pixels=64, c_eff=96, k=16, seed=7):
         )
         for i in range(n_jobs)
     ]
-
-
-def timed(fn, *args, repeats=2):
-    """Best-of-N wall clock (seconds) to damp scheduler noise."""
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn(*args)
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
-def timed_interleaved(contenders, repeats=3):
-    """Best-of-N wall clock per contender, rounds interleaved.
-
-    Alternating the contenders inside each round keeps slow drift (CPU
-    throttling, cgroup scheduling) from biasing whichever side happens to
-    run first — this is a shared-core CI container.
-    """
-    best = [float("inf")] * len(contenders)
-    for _ in range(repeats):
-        for i, fn in enumerate(contenders):
-            start = time.perf_counter()
-            fn()
-            best[i] = min(best[i], time.perf_counter() - start)
-    return best
 
 
 def test_bench_engine_backends(benchmark):

@@ -31,6 +31,7 @@ from typing import List, Optional
 from .engine import backend_names, configure_default_engine
 from .experiments import RUNNERS, SCALES, get_scale, run_all
 from .experiments.orchestrator import SCALELESS
+from .faults import INJECTION_RUNTIMES, configure_injection_runtime
 
 
 def _positive_int(value: str) -> int:
@@ -67,6 +68,16 @@ def _engine_flags(parser: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="disable the on-disk result cache",
+    )
+    parser.add_argument(
+        "--injection-runtime",
+        choices=INJECTION_RUNTIMES,
+        default=None,
+        help=(
+            "fault-injection trial execution: 'batched' (default; one stacked "
+            "forward pass per campaign) or 'serial' (the reference loop — "
+            "bit-identical, slower); default: $REPRO_INJECTION_RUNTIME"
+        ),
     )
 
 
@@ -159,6 +170,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         jobs=args.jobs,
         use_cache=False if args.no_cache else None,
     )
+    # Exported via the environment so engine pool workers inherit it.
+    configure_injection_runtime(args.injection_runtime)
     if args.experiment == "all":
         scale = get_scale(args.scale)
         result = run_all(scale=scale, artifacts_dir=args.artifacts, engine=engine)

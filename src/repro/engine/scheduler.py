@@ -43,6 +43,15 @@ def _execute_job(factory: Callable[[], SimulationBackend], job: EngineJob):
     spawned workers — which only know the built-in registrations — can
     run third-party backends registered in the submitting process.  Job
     kinds that do not simulate on the array ignore the factory.
+
+    Worker context for injection jobs: process-wide execution choices
+    travel through the environment (``REPRO_INJECTION_RUNTIME`` is set by
+    ``configure_injection_runtime`` before any pool exists, and pools
+    inherit the submitting process's environment), while per-process
+    operand state — the rebuilt ``TrainedBundle``, the fault-free
+    operand pass, active-MSB tables — is memoized inside each worker so a
+    grid of same-bundle jobs pays its setup once per worker, not once per
+    job (mirroring ``SimJob.build_plan``'s plan memo).
     """
     return job.execute(factory)
 

@@ -11,7 +11,11 @@ Both stages are engine workloads: the layer TERs are a
 :class:`~repro.engine.SimJob` batch and every (strategy, corner) cell of
 the accuracy grid is one :class:`~repro.faults.InjectionJob`, so the
 whole figure — simulation and injection — runs as two cached, parallel
-``run_many`` submissions with no bespoke loops.
+``run_many`` submissions with no bespoke loops.  Injection cells execute
+on the trial-batched runtime by default (one stacked forward per cell,
+the grid sharing one fault-free operand pass per network;
+``--injection-runtime serial`` / ``$REPRO_INJECTION_RUNTIME`` fall back
+to the bit-identical reference loop).
 
 Example: ``read-repro fig10 --scale small --jobs 4`` (the TER grids
 default to the ``vector`` backend; ``--backend`` overrides).

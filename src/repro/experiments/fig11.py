@@ -7,7 +7,11 @@ injected errors only into several vulnerable layers (those closer to the
 inputs)").
 
 Like Fig. 10, both the layer-TER measurements and the per-(strategy,
-corner) injection campaigns are engine job batches.
+corner) injection campaigns are engine job batches, and the injection
+cells run on the trial-batched runtime by default (``--injection-runtime
+serial`` / ``$REPRO_INJECTION_RUNTIME`` select the bit-identical
+reference loop): one stacked forward per (strategy, corner) cell, all
+cells of a network sharing one cached fault-free operand pass.
 
 Example: ``read-repro fig11 --scale small --jobs 4`` (the TER grids
 default to the ``vector`` backend; ``--backend`` overrides).

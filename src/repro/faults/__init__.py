@@ -16,10 +16,19 @@ from .evaluate import (
     injection_job_for_bundle,
     outcome_from_result,
 )
-from .injection import BitFlipInjector, msb_weighted_positions
+from .injection import (
+    BitFlipInjector,
+    active_msb_from_max,
+    layer_stream,
+    measure_active_msbs,
+    msb_weighted_positions,
+)
 from .injection_job import (
+    INJECTION_RUNTIMES,
     InjectionJob,
     InjectionResult,
+    configure_injection_runtime,
+    injection_runtime,
     run_injection_trials,
     trial_seed,
 )
@@ -34,18 +43,24 @@ __all__ = [
     "AbftReport",
     "BitFlipInjector",
     "FaultInjectionEvaluator",
+    "INJECTION_RUNTIMES",
     "InjectionJob",
     "InjectionOutcome",
     "InjectionResult",
     "LayerSensitivity",
     "SensitivityReport",
+    "active_msb_from_max",
     "analyze_sensitivity",
     "ber_from_ter",
     "bers_from_layer_ters",
     "check_and_correct",
+    "configure_injection_runtime",
     "encode_operands",
     "evaluate_bundle_under_injection",
     "injection_job_for_bundle",
+    "injection_runtime",
+    "layer_stream",
+    "measure_active_msbs",
     "msb_weighted_positions",
     "outcome_from_result",
     "overhead_macs",

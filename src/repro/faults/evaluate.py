@@ -18,6 +18,12 @@ Two execution tiers share the same trial primitive
 * :class:`FaultInjectionEvaluator` — the inline path for ad-hoc networks
   that have no content-addressable identity (e.g. the per-layer probes in
   :mod:`repro.faults.sensitivity`).  Uncached, single-process.
+
+Both tiers execute their trials on the trial-batched runtime by default
+(one stacked forward pass per campaign — see
+:func:`~repro.faults.injection_job.injection_runtime` for the serial
+escape hatch); the runtimes are bit-identical, so the choice is purely
+about speed.
 """
 
 from __future__ import annotations
@@ -96,6 +102,7 @@ def injection_job_for_bundle(
     topk: int = 1,
     base_seed: int = 0,
     batch_size: int = 128,
+    runtime: str = "",
     corner: str = "",
     label: str = "",
 ) -> InjectionJob:
@@ -113,6 +120,7 @@ def injection_job_for_bundle(
         topk=topk,
         base_seed=base_seed,
         batch_size=batch_size,
+        runtime=runtime,
         corner=corner,
         label=label,
     )

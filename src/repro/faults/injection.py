@@ -14,26 +14,108 @@ the range that was toggling, so the injected error magnitude is
 comparable to the accumulator values themselves, not to the full 2^23
 range of the register (whose top bits never toggle for layers that use
 only part of the dynamic range).  Positions are therefore drawn from a
-window just below each layer's active MSB — measured from the batch being
-injected — with an absolute-window mode retained for sensitivity studies.
+window just below each layer's active MSB — measured over the *full*
+fault-free batch being injected (see :func:`measure_active_msbs`) — with
+an absolute-window mode retained for sensitivity studies.
 
-The injector's randomness is fully determined by its seed: flips, counts
-and positions depend only on (seed, accumulator shapes/values), never on
-process or scheduling state.  :mod:`repro.faults.injection_job` relies on
-this to make engine-scheduled campaigns (re-seeded per trial via
+Determinism contract (schema v2)
+--------------------------------
+The injector's randomness is a pure function of ``(seed, layer name)``:
+every layer owns two private substreams — one for the Bernoulli flip
+mask, one for the flip positions — derived from the trial seed and a
+hash of the layer's name.  Because NumPy generators fill requests
+sequentially from one stream, splitting a layer's accumulators into
+evaluation chunks draws exactly the same mask/position values as one
+full-batch draw: flips no longer depend on ``batch_size``, evaluation
+order, process or scheduling state.  Together with the full-batch
+``active_msb`` window this is what lets the trial-batched runtime
+(:meth:`repro.nn.quantize.QuantizedNetwork.evaluate_trials`) apply each
+trial's flips as one vectorized block per (trial, layer) and still be
+bit-identical to the serial chunked loop.
+:mod:`repro.faults.injection_job` relies on this to make
+engine-scheduled campaigns (re-seeded per trial via
 :func:`~repro.faults.injection_job.trial_seed`) bit-reproducible across
 worker pools and the result cache.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..errors import ConfigurationError
 from ..hw import fixedpoint as fp
+
+
+_LAYER_DIGESTS: Dict[str, int] = {}
+
+
+def _layer_digest(layer_name: str) -> int:
+    digest = _LAYER_DIGESTS.get(layer_name)
+    if digest is None:
+        raw = hashlib.sha256(layer_name.encode("utf-8")).digest()
+        digest = _LAYER_DIGESTS[layer_name] = int.from_bytes(raw[:8], "little")
+    return digest
+
+
+def layer_stream(seed: int, layer_name: str, stream: int) -> np.random.Generator:
+    """The private RNG of one (seed, layer, purpose) triple.
+
+    ``stream`` 0 draws flip masks, 1 draws flip positions.  Keeping the
+    two on separate generators is what makes chunked draws concatenate
+    to the full-batch draw: a chunk's position draws never advance the
+    next chunk's mask stream.
+    """
+    return np.random.default_rng([seed % (1 << 63), _layer_digest(layer_name), stream])
+
+
+def active_msb_from_max(
+    max_abs: int, relative_window: int, psum_width: int = fp.PSUM_WIDTH
+) -> int:
+    """Active-MSB position from a layer's peak |accumulator| value."""
+    msb = max(int(max_abs).bit_length() - 1, relative_window - 1)
+    return min(msb, psum_width - 1)
+
+
+def measure_active_msbs(
+    network,
+    x: np.ndarray,
+    relative_window: int = 3,
+    psum_width: int = fp.PSUM_WIDTH,
+    batch_size: int = 128,
+) -> Dict[str, int]:
+    """Per-layer active-MSB table over one full fault-free batch.
+
+    The relative-mode determinism contract: the flip window of a layer
+    is fixed by the fault-free accumulators of the *entire* injected
+    batch, so it cannot shift with evaluation chunking (the old
+    per-chunk measurement made ``batch_size`` silently change flip
+    positions) nor with fault propagation from upstream layers.  A
+    maximum is chunking-invariant, so this measuring pass may use any
+    batch size; the trial-batched runtime reads the same numbers off its
+    cached :class:`~repro.nn.quantize.FaultFreePass` instead of
+    re-running this.
+    """
+    maxes: Dict[str, int] = {}
+
+    def record(acc: np.ndarray, layer) -> np.ndarray:
+        peak = int(np.abs(acc).max(initial=0))
+        maxes[layer.name] = max(maxes.get(layer.name, 0), peak)
+        return acc
+
+    network.set_injector(record)
+    try:
+        for start in range(0, x.shape[0], batch_size):
+            network.forward_features(x[start : start + batch_size])
+    finally:
+        network.set_injector(None)
+    return {
+        name: active_msb_from_max(peak, relative_window, psum_width)
+        for name, peak in maxes.items()
+    }
 
 
 @dataclass
@@ -50,8 +132,14 @@ class BitFlipInjector:
         In the default *relative* mode, flip positions are drawn uniformly
         from ``[active_msb - relative_window + 1, active_msb]`` where
         ``active_msb`` is the highest magnitude bit used by the layer's
-        accumulators in the injected batch — the MSB region that actually
-        toggles.
+        accumulators — the MSB region that actually toggles.
+    msb_per_layer:
+        Precomputed full-batch active-MSB table (relative mode), from
+        :func:`measure_active_msbs` or a cached
+        :class:`~repro.nn.quantize.FaultFreePass`.  When absent, the MSB
+        is measured from each call's accumulators — fine for whole-batch
+        calls, but chunked evaluation then re-measures per chunk, which
+        is exactly the batch-size trap the precomputed table removes.
     bit_low / bit_high:
         Absolute-mode window within the PSUM register (used when
         ``mode == "absolute"``).
@@ -59,8 +147,8 @@ class BitFlipInjector:
         Register width the flip is applied in (values wrap into it first,
         which is what the physical register holds).
     seed:
-        Seed of the injector's private RNG; re-seed per trial to get the
-        paper's five repeated simulations.
+        Seed of the injector's per-layer substreams; re-seed per trial to
+        get the paper's five repeated simulations.
     """
 
     ber_per_layer: Dict[str, float]
@@ -70,6 +158,7 @@ class BitFlipInjector:
     bit_high: int = 23
     psum_width: int = fp.PSUM_WIDTH
     seed: int = 0
+    msb_per_layer: Optional[Dict[str, int]] = None
     flips_injected: int = field(default=0, init=False)
     elements_seen: int = field(default=0, init=False)
 
@@ -86,38 +175,62 @@ class BitFlipInjector:
         for name, ber in self.ber_per_layer.items():
             if not 0.0 <= ber <= 1.0:
                 raise ConfigurationError(f"layer {name}: BER {ber} outside [0, 1]")
-        self._rng = np.random.default_rng(self.seed)
+        self._streams: Dict[str, Tuple[np.random.Generator, np.random.Generator]] = {}
 
     # ------------------------------------------------------------------ #
     def reseed(self, seed: int) -> None:
-        """Restart the random stream (one call per repeated trial)."""
+        """Restart every per-layer random stream (one call per trial)."""
         self.seed = seed
-        self._rng = np.random.default_rng(seed)
+        self._streams = {}
         self.flips_injected = 0
         self.elements_seen = 0
+
+    def _layer_streams(
+        self, layer_name: str
+    ) -> Tuple[np.random.Generator, np.random.Generator]:
+        streams = self._streams.get(layer_name)
+        if streams is None:
+            streams = (
+                layer_stream(self.seed, layer_name, 0),
+                layer_stream(self.seed, layer_name, 1),
+            )
+            self._streams[layer_name] = streams
+        return streams
+
+    def _flip_window(self, layer_name: str, acc: np.ndarray) -> Tuple[int, int]:
+        """Inclusive [low, high] bit window for this layer's flips."""
+        if self.mode == "absolute":
+            return self.bit_low, self.bit_high
+        if self.msb_per_layer is not None and layer_name in self.msb_per_layer:
+            msb = min(int(self.msb_per_layer[layer_name]), self.psum_width - 1)
+            msb = max(msb, self.relative_window - 1)
+        else:
+            msb = active_msb_from_max(
+                int(np.abs(acc).max(initial=0)), self.relative_window, self.psum_width
+            )
+        return msb - self.relative_window + 1, msb
 
     def __call__(self, acc: np.ndarray, layer) -> np.ndarray:
         """Flip bits of the accumulator array for one layer invocation.
 
         ``layer`` is the :class:`~repro.nn.quantize.QuantizedConv` being
-        executed; its ``name`` selects the BER.
+        executed; its ``name`` selects the BER.  One vectorized draw
+        block per call: a Bernoulli mask over ``acc`` from the layer's
+        mask stream, then one position per flip from its position
+        stream.  Calling this per evaluation chunk or once on the full
+        layer batch yields identical flips (see the module docstring).
         """
         ber = float(self.ber_per_layer.get(layer.name, 0.0))
         self.elements_seen += acc.size
         if ber <= 0.0:
             return acc
-        mask = self._rng.random(acc.shape) < ber
+        mask_rng, pos_rng = self._layer_streams(layer.name)
+        mask = mask_rng.random(acc.shape) < ber
         n = int(mask.sum())
         if n == 0:
             return acc
-        if self.mode == "relative":
-            max_abs = int(np.abs(acc).max())
-            active_msb = max(max_abs.bit_length() - 1, self.relative_window - 1)
-            active_msb = min(active_msb, self.psum_width - 1)
-            low = active_msb - self.relative_window + 1
-            positions = self._rng.integers(low, active_msb + 1, size=n)
-        else:
-            positions = self._rng.integers(self.bit_low, self.bit_high + 1, size=n)
+        low, high = self._flip_window(layer.name, acc)
+        positions = pos_rng.integers(low, high + 1, size=n)
         out = acc.copy()
         out[mask] = fp.flip_bits(out[mask], positions, self.psum_width)
         self.flips_injected += n

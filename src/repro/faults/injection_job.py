@@ -8,13 +8,23 @@ produces the per-trial top-k accuracies.  Like
 so fig10/fig11-style campaigns share the engine's process pool and
 on-disk result cache with the layer-TER simulations.
 
+Campaigns execute on the trial-batched runtime by default: all
+``n_trials`` repetitions in one stacked forward pass over the shared
+fault-free prefix, with one vectorized flip draw per (trial, layer) —
+see :func:`run_injection_trials` and
+:meth:`repro.nn.quantize.QuantizedNetwork.evaluate_trials`.  The serial
+reference loop remains available via ``runtime="serial"`` /
+``$REPRO_INJECTION_RUNTIME``; the two are bit-identical by contract.
+
 Determinism is the load-bearing property: a worker process rebuilds the
 trained bundle via :func:`repro.experiments.common.get_bundle` (which
 loads the exact parameter snapshot the submitting process trained) and
 replays :func:`run_injection_trials` with seeds derived only from the job
 spec — so the same (job, seed) pair yields bit-identical trial accuracies
-whether it runs inline, on a pool worker, or from the cache.  The
-regression suite in ``tests/test_injection_job.py`` enforces this.
+whether it runs inline, on a pool worker, from the cache, batched or
+serial, at any batch size.  The regression suites in
+``tests/test_injection_job.py`` and ``tests/test_injection_runtime.py``
+enforce this.
 
 The trained network is *not* shipped in the job: the spec carries the
 (recipe, scale, seed) triple that determines it, keeping jobs cheap to
@@ -25,21 +35,120 @@ weights (training set size, epochs, width, seeds) feeds the key.
 from __future__ import annotations
 
 import hashlib
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Mapping, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
 from ..engine.job import EngineJob, feed_hash
 from ..errors import ConfigurationError
-from .injection import BitFlipInjector
+from .injection import BitFlipInjector, active_msb_from_max, measure_active_msbs
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see execute())
     from ..experiments.common import ExperimentScale
-    from ..nn.quantize import QuantizedNetwork
+    from ..nn.quantize import FaultFreePass, QuantizedNetwork
 
 #: Bump when the trial protocol or the cached result layout changes.
-INJECTION_SCHEMA_VERSION = 1
+#: v2: per-(trial, layer) RNG substreams + full-batch active-MSB windows
+#: (the trial-batched runtime's determinism contract) replaced the v1
+#: single-stream, per-chunk-MSB protocol.
+INJECTION_SCHEMA_VERSION = 2
+
+#: Execution strategies for the repeated trials (see :func:`injection_runtime`).
+INJECTION_RUNTIMES = ("batched", "serial")
+
+#: Per-process memo of fault-free passes (the batched runtime's operand
+#: cache): repeated cells of a fig10/fig11 grid — same bundle, different
+#: BER tables — share one recorded pass instead of each re-running the
+#: quantized im2col prefix.  Keyed by the bundle identity + injected
+#: slice; LRU bounded both by entry count and by total bytes (each pass
+#: pins every layer's accumulator/output tensors, which grows with
+#: ``inject_n`` — see :meth:`~repro.nn.quantize.FaultFreePass.nbytes`).
+_PASS_CACHE: "OrderedDict[Tuple, FaultFreePass]" = OrderedDict()
+_PASS_CACHE_MAX = 4
+_PASS_CACHE_MAX_BYTES = 1 << 29  # 512 MB per worker process
+
+#: Per-process memo of serial-path active-MSB tables (same key space).
+_MSB_CACHE: "OrderedDict[Tuple, Dict[str, int]]" = OrderedDict()
+_MSB_CACHE_MAX = 32
+
+
+def injection_runtime(explicit: Optional[str] = None) -> str:
+    """Resolve the trial execution strategy.
+
+    Priority: explicit argument (e.g. a job's ``runtime`` field) >
+    ``$REPRO_INJECTION_RUNTIME`` > ``"batched"``.  Both runtimes are
+    bit-identical by contract (enforced by the test suite), so the
+    choice — like the engine's simulation backend — never feeds a cache
+    key; ``"serial"`` is the reference escape hatch.
+    """
+    name = explicit or os.environ.get("REPRO_INJECTION_RUNTIME") or "batched"
+    if name not in INJECTION_RUNTIMES:
+        raise ConfigurationError(
+            f"unknown injection runtime {name!r}; expected one of {INJECTION_RUNTIMES}"
+        )
+    return name
+
+
+#: Environment state before the first CLI configure, so a later
+#: ``configure_injection_runtime(None)`` restores it instead of leaking
+#: the previous invocation's flag into flag-less runs.
+_ENV_BEFORE_CONFIGURE: Optional[Tuple[bool, str]] = None
+
+
+def configure_injection_runtime(name: Optional[str]) -> str:
+    """Install a process-wide runtime choice (the CLI flag lands here).
+
+    Exported via the environment so engine worker processes inherit it —
+    the scheduler's pools are forked from the configuring process.
+    ``None`` (no flag) undoes any earlier in-process configure, restoring
+    whatever ``$REPRO_INJECTION_RUNTIME`` the user launched with.
+    """
+    global _ENV_BEFORE_CONFIGURE
+    var = "REPRO_INJECTION_RUNTIME"
+    if name is None:
+        if _ENV_BEFORE_CONFIGURE is not None:
+            was_set, old = _ENV_BEFORE_CONFIGURE
+            if was_set:
+                os.environ[var] = old
+            else:
+                os.environ.pop(var, None)
+            _ENV_BEFORE_CONFIGURE = None
+        return injection_runtime()
+    resolved = injection_runtime(name)
+    if _ENV_BEFORE_CONFIGURE is None:
+        _ENV_BEFORE_CONFIGURE = (var in os.environ, os.environ.get(var, ""))
+    os.environ[var] = resolved
+    return resolved
+
+
+def _lru_get(cache: OrderedDict, key, build, max_entries: int):
+    hit = cache.get(key)
+    if hit is not None:
+        cache.move_to_end(key)
+        return hit
+    value = build()
+    cache[key] = value
+    if len(cache) > max_entries:
+        cache.popitem(last=False)
+    return value
+
+
+def _pass_cache_get(key: Tuple, build) -> "FaultFreePass":
+    """LRU lookup for fault-free passes, evicting on entries *and* bytes.
+
+    The freshest pass is always retained even if it alone exceeds the
+    byte budget — callers need the value they just built.
+    """
+    value = _lru_get(_PASS_CACHE, key, build, _PASS_CACHE_MAX)
+    while (
+        len(_PASS_CACHE) > 1
+        and sum(p.nbytes() for p in _PASS_CACHE.values()) > _PASS_CACHE_MAX_BYTES
+    ):
+        _PASS_CACHE.popitem(last=False)
+    return value
 
 #: Scale fields that determine the trained bundle and hence the result.
 _SCALE_FIELDS = (
@@ -73,6 +182,16 @@ class InjectionResult:
         return float(np.std(self.trial_accuracies))
 
 
+def _pass_msbs(
+    prefix: "FaultFreePass", relative_window: int
+) -> Dict[str, int]:
+    """Active-MSB table read off a recorded fault-free pass."""
+    return {
+        name: active_msb_from_max(peak, relative_window)
+        for name, peak in prefix.max_abs_acc.items()
+    }
+
+
 def run_injection_trials(
     network: "QuantizedNetwork",
     x: np.ndarray,
@@ -87,13 +206,29 @@ def run_injection_trials(
     relative_window: int = 3,
     bit_low: int = 20,
     bit_high: int = 23,
+    runtime: Optional[str] = None,
+    prefix: Optional["FaultFreePass"] = None,
+    msb_per_layer: Optional[Dict[str, int]] = None,
 ) -> InjectionResult:
     """The repeated-seeded-trial primitive every injection path shares.
 
     A BER table that is empty or all-zero short-circuits to a single
-    fault-free run (the *Ideal* corner).  Otherwise one
-    :class:`BitFlipInjector` is re-seeded per trial with
-    :func:`trial_seed` — exactly the paper's protocol.
+    fault-free run (the *Ideal* corner).  Otherwise the campaign runs on
+    one of two bit-identical runtimes (see :func:`injection_runtime`):
+
+    * ``batched`` (default) — all ``n_trials`` repetitions in one
+      stacked forward pass
+      (:meth:`~repro.nn.quantize.QuantizedNetwork.evaluate_trials`):
+      shared fault-free prefix, one exact-BLAS ``(trials*N, ...)`` GEMM
+      per layer, vectorized per-(trial, layer) flip draws.
+    * ``serial`` — the reference loop: one
+      :class:`BitFlipInjector`, re-seeded per trial with
+      :func:`trial_seed`, driving ``n_trials`` chunked int64 forwards —
+      exactly the paper's protocol, unoptimized.
+
+    Relative-mode flip windows come from the full-batch fault-free
+    active-MSB table in both runtimes (``prefix`` / ``msb_per_layer``
+    let callers share a precomputed one).
     """
     if n_trials < 1:
         raise ConfigurationError("n_trials must be >= 1")
@@ -102,14 +237,47 @@ def run_injection_trials(
         acc = network.evaluate(x, y, topk=topk, batch_size=batch_size)
         return InjectionResult(trial_accuracies=(acc,), flips_injected=0)
 
+    resolved = injection_runtime(runtime)
+    if resolved == "batched":
+        if prefix is None:
+            prefix = network.fault_free_pass(x)
+        if mode == "relative" and msb_per_layer is None:
+            msb_per_layer = _pass_msbs(prefix, relative_window)
+        injectors = [
+            BitFlipInjector(
+                ber_per_layer=bers,
+                mode=mode,
+                relative_window=relative_window,
+                bit_low=bit_low,
+                bit_high=bit_high,
+                seed=trial_seed(base_seed, trial),
+                msb_per_layer=msb_per_layer,
+            )
+            for trial in range(n_trials)
+        ]
+        accuracies = network.evaluate_trials(
+            x, y, injectors, topk=topk, batch_size=batch_size, prefix=prefix
+        )
+        flips = sum(inj.flips_injected for inj in injectors)
+        return InjectionResult(trial_accuracies=tuple(accuracies), flips_injected=flips)
+
+    if mode == "relative" and msb_per_layer is None:
+        msb_per_layer = (
+            _pass_msbs(prefix, relative_window)
+            if prefix is not None
+            else measure_active_msbs(
+                network, x, relative_window=relative_window, batch_size=batch_size
+            )
+        )
     injector = BitFlipInjector(
         ber_per_layer=bers,
         mode=mode,
         relative_window=relative_window,
         bit_low=bit_low,
         bit_high=bit_high,
+        msb_per_layer=msb_per_layer,
     )
-    accuracies: List[float] = []
+    accuracies = []
     flips = 0
     for trial in range(n_trials):
         injector.reseed(trial_seed(base_seed, trial))
@@ -146,6 +314,12 @@ class InjectionJob(EngineJob):
         :class:`BitFlipInjector` configuration.
     bundle_seed:
         Training/dataset seed forwarded to ``get_bundle``.
+    runtime:
+        Trial execution strategy override (``"batched"``/``"serial"``;
+        empty defers to :func:`injection_runtime`).  **Not** hashed: both
+        runtimes are bit-identical by contract — the equivalence suite is
+        what licenses either to fill the cache for both, exactly like the
+        engine's backend field on :class:`~repro.engine.job.SimJob`.
     corner / label:
         Provenance (PVTA corner name, free-form tag).  **Not** hashed.
     """
@@ -165,6 +339,7 @@ class InjectionJob(EngineJob):
     bit_low: int = 20
     bit_high: int = 23
     bundle_seed: int = 0
+    runtime: str = ""
     corner: str = ""
     label: str = ""
 
@@ -193,6 +368,8 @@ class InjectionJob(EngineJob):
                 )
         if self.mode not in ("relative", "absolute"):
             raise ConfigurationError("mode must be 'relative' or 'absolute'")
+        if self.runtime:
+            injection_runtime(self.runtime)  # validate eagerly
 
     # ------------------------------------------------------------------ #
     def ber_table(self) -> Dict[str, float]:
@@ -220,6 +397,10 @@ class InjectionJob(EngineJob):
         )
         return h.hexdigest()
 
+    def _cache_identity(self) -> Tuple:
+        """Key of the per-process operand caches (bundle + injected slice)."""
+        return (self.recipe, self.scale.name, self.bundle_seed, self.inject_n)
+
     def execute(self, backend_factory=None) -> InjectionResult:
         """Rebuild the trained bundle and replay the seeded trials.
 
@@ -227,17 +408,48 @@ class InjectionJob(EngineJob):
         inference, not array simulation.  Imported lazily: the experiments
         package imports the faults package at module level, so the reverse
         import must happen at call time.
+
+        Repeated jobs on one bundle amortize their shared work inside the
+        executing process: ``get_bundle`` memoizes the rebuilt
+        :class:`~repro.experiments.common.TrainedBundle` per
+        (recipe, scale, seed) — so a grid of InjectionJobs re-loads and
+        re-quantizes the network once per worker, not once per job — and
+        the fault-free operand pass / active-MSB table are LRU-memoized
+        here the way :meth:`repro.engine.job.SimJob.build_plan` memoizes
+        mapping plans.
         """
         from ..experiments.common import get_bundle
 
         bundle = get_bundle(self.recipe, self.scale, seed=self.bundle_seed)
         x = bundle.x_test[: self.inject_n]
         y = bundle.y_test[: self.inject_n]
+        resolved = injection_runtime(self.runtime)
+        prefix = None
+        msbs = None
+        bers = self.ber_table()
+        if bers and any(b > 0.0 for b in bers.values()):
+            key = self._cache_identity()
+            if resolved == "batched":
+                prefix = _pass_cache_get(
+                    key, lambda: bundle.qnet.fault_free_pass(x)
+                )
+            elif self.mode == "relative":
+                msbs = _lru_get(
+                    _MSB_CACHE,
+                    key + (self.relative_window,),
+                    lambda: measure_active_msbs(
+                        bundle.qnet,
+                        x,
+                        relative_window=self.relative_window,
+                        batch_size=self.batch_size,
+                    ),
+                    _MSB_CACHE_MAX,
+                )
         return run_injection_trials(
             bundle.qnet,
             x,
             y,
-            self.ber_table(),
+            bers,
             n_trials=self.n_trials,
             base_seed=self.base_seed,
             topk=self.topk,
@@ -246,6 +458,9 @@ class InjectionJob(EngineJob):
             relative_window=self.relative_window,
             bit_low=self.bit_low,
             bit_high=self.bit_high,
+            runtime=resolved,
+            prefix=prefix,
+            msb_per_layer=msbs,
         )
 
     def corner_names(self) -> List[str]:

@@ -224,9 +224,19 @@ def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> Tuple[float, np.nda
     return float(loss), grad / n
 
 
+def topk_correct(logits: np.ndarray, labels: np.ndarray, topk: int = 1) -> int:
+    """Number of top-k-correct predictions (an exact integer count).
+
+    Chunked evaluation loops accumulate these counts instead of
+    per-chunk accuracy floats, so a short final chunk (non-divisible
+    batch size) can never skew the weighting and the total is exact.
+    """
+    if topk == 1:
+        return int((logits.argmax(axis=1) == labels).sum())
+    top = np.argpartition(-logits, topk - 1, axis=1)[:, :topk]
+    return int((top == labels[:, None]).any(axis=1).sum())
+
+
 def accuracy(logits: np.ndarray, labels: np.ndarray, topk: int = 1) -> float:
     """Top-k classification accuracy (Fig. 11 uses top-3)."""
-    if topk == 1:
-        return float((logits.argmax(axis=1) == labels).mean())
-    top = np.argpartition(-logits, topk - 1, axis=1)[:, :topk]
-    return float((top == labels[:, None]).any(axis=1).mean())
+    return topk_correct(logits, labels, topk) / logits.shape[0]

@@ -22,7 +22,8 @@ study.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,6 +34,7 @@ from .layers import (
     BasicBlock,
     BatchNorm2d,
     Conv2d,
+    MaxPool2d,
     Module,
     ReLU,
     Sequential,
@@ -116,6 +118,11 @@ class QuantizedConv:
         self.record = False
         self.recorded_cols: Optional[np.ndarray] = None
 
+        self._lowered: Optional[np.ndarray] = None
+        self._blas_weights: Optional[np.ndarray] = None
+        self._blas_checked = False
+        self._blas_weights_hwc: Optional[np.ndarray] = None
+
     # ------------------------------------------------------------------ #
     @property
     def out_channels(self) -> int:
@@ -132,8 +139,125 @@ class QuantizedConv:
 
     def lowered_weight_matrix(self) -> np.ndarray:
         """Quantized GEMM weight matrix ``(C*Fy*Fx, K)`` for READ planning."""
-        k = self.weight_q.shape[0]
-        return self.weight_q.reshape(k, -1).T.copy()
+        return self._lowered_weights().copy()
+
+    def _lowered_weights(self) -> np.ndarray:
+        """Memoized lowered weight matrix (weights are frozen post-build)."""
+        if self._lowered is None:
+            k = self.weight_q.shape[0]
+            self._lowered = self.weight_q.reshape(k, -1).T.copy()
+        return self._lowered
+
+    def acc_bound(self) -> int:
+        """Largest possible |partial sum| of this layer's integer GEMM.
+
+        Every accumulation order is bounded by
+        ``q_max * max_k sum_c |w_q[c, k]|`` (activations are uint
+        ``act_bits``).  When this bound fits the float32 (2**24) or
+        float64 (2**53) exact-integer range, a BLAS GEMM in that dtype is
+        *exact* — every intermediate is an integer below the mantissa
+        limit — and therefore bit-identical to the int64 reference
+        regardless of BLAS blocking, threading or batch shape.
+        """
+        q_max = (1 << self.act_bits) - 1
+        col_sums = np.abs(self.weight_q.reshape(self.out_channels, -1)).sum(axis=1)
+        return int(q_max) * int(col_sums.max(initial=0))
+
+    def _blas_weight_matrix(self) -> Optional[np.ndarray]:
+        """The lowered weights in the widest-exact BLAS dtype (or None).
+
+        ``None`` means no float dtype can represent the datapath exactly
+        (accumulator bound >= 2**53) and callers must fall back to the
+        int64 reference GEMM.
+        """
+        if not self._blas_checked:
+            bound = self.acc_bound()
+            if bound < (1 << 24):
+                self._blas_weights = self._lowered_weights().astype(np.float32)
+            elif bound < (1 << 53):
+                self._blas_weights = self._lowered_weights().astype(np.float64)
+            else:  # pragma: no cover - needs a >2**45-element reduction
+                self._blas_weights = None
+            self._blas_checked = True
+        return self._blas_weights
+
+    def _blas_weights_nhwc(self) -> Optional[np.ndarray]:
+        """Lowered BLAS weights with the reduction re-ordered ``(fy,fx,c)``.
+
+        The channels-last GEMM of :meth:`accumulate_nhwc` sums exactly
+        the same integer products in a different order, which an exact
+        datapath cannot observe — so the accumulators stay bit-identical
+        while the operand gather runs over contiguous channel runs.
+        """
+        if self._blas_weights_hwc is None and self._blas_weight_matrix() is not None:
+            k = self.weight_q.shape[0]
+            self._blas_weights_hwc = np.ascontiguousarray(
+                self.weight_q.transpose(2, 3, 1, 0).reshape(-1, k)
+            ).astype(self._blas_weights.dtype)
+        return self._blas_weights_hwc
+
+    def accumulate_nhwc(self, x: np.ndarray) -> np.ndarray:
+        """Integer-*valued* accumulators ``(N*OH*OW, K)`` via an exact BLAS GEMM.
+
+        ``x`` is the channels-last ``(N, H, W, C)`` float activation
+        tensor.  Bit-identical values to the int64 GEMM in
+        :meth:`_forward_quantized` (see :meth:`acc_bound` for why, and
+        :meth:`_blas_weights_nhwc` for the reduction re-ordering), but
+        runs as one sgemm/dgemm over a channels-contiguous operand
+        gather — the batched injection runtime's hot loop.  Accumulator
+        rows are ordered ``(n, oy, ox)`` exactly like the channels-first
+        path, so per-element flip masks line up between the runtimes.
+
+        The result stays in the BLAS float dtype: every entry is an
+        exactly-represented integer, and so is every entry after an
+        MSB-window bit flip (which lands within the 24-bit PSUM range) —
+        converting the full tensor to int64 would only add memory
+        traffic.  Falls back to the int64 reference on the (unreachable
+        in practice) overflow case.
+        """
+        w = self._blas_weights_nhwc()
+        if w is None:  # pragma: no cover - see _blas_weight_matrix
+            x_nchw = np.ascontiguousarray(x.transpose(0, 3, 1, 2))
+            return im2col(
+                self.quantize_input(x_nchw),
+                self.weight_q.shape[2],
+                self.weight_q.shape[3],
+                stride=self.stride,
+                padding=self.padding,
+            ) @ self._lowered_weights()
+        if self.in_scale is None:
+            raise QuantizationError(f"layer {self.name} is not calibrated")
+        q_max = (1 << self.act_bits) - 1
+        # Same float64 divide/round/clip as quantize_input (bit-identical
+        # quantization decisions), fused in place to avoid temporaries.
+        x_q = x / self.in_scale
+        np.round(x_q, out=x_q)
+        np.clip(x_q, 0, q_max, out=x_q)
+        cols = _im2col_nhwc(
+            x_q.astype(w.dtype),
+            self.weight_q.shape[2],
+            self.weight_q.shape[3],
+            stride=self.stride,
+            padding=self.padding,
+        )
+        return cols @ w
+
+    def accumulate_exact(self, x: np.ndarray) -> np.ndarray:
+        """:meth:`accumulate_nhwc` for a channels-first ``(N, C, H, W)`` input."""
+        return self.accumulate_nhwc(np.ascontiguousarray(x.transpose(0, 2, 3, 1)))
+
+    def epilogue_nhwc(self, acc: np.ndarray, n: int, h: int, w: int) -> np.ndarray:
+        """Dequantize raw accumulators ``(n*OH*OW, K)`` into ``(n, OH, OW, K)``."""
+        _, _, fy, fx = self.weight_q.shape
+        out = acc.astype(np.float64)
+        out *= self.in_scale * self.w_scale
+        out += self.bias[None, :]
+        oh, ow = F.conv_out_hw(h, w, fy, fx, self.stride, self.padding)
+        return out.reshape(n, oh, ow, self.out_channels)
+
+    def epilogue(self, acc: np.ndarray, n: int, h: int, w: int) -> np.ndarray:
+        """Dequantize raw accumulators ``(n*OH*OW, K)`` into the float output."""
+        return self.epilogue_nhwc(acc, n, h, w).transpose(0, 3, 1, 2)
 
     # ------------------------------------------------------------------ #
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -165,17 +289,15 @@ class QuantizedConv:
 
     def _forward_quantized(self, x: np.ndarray) -> np.ndarray:
         n, _, h, w = x.shape
-        k, _, fy, fx = self.weight_q.shape
+        _, _, fy, fx = self.weight_q.shape
         x_q = self.quantize_input(x)
         cols = im2col(x_q, fy, fx, stride=self.stride, padding=self.padding)
         if self.record:
             self.recorded_cols = cols
-        acc = cols @ self.lowered_weight_matrix()  # (N*OH*OW, K) int64
+        acc = cols @ self._lowered_weights()  # (N*OH*OW, K) int64
         if self.injector is not None:
             acc = self.injector(acc, self)
-        out = acc.astype(np.float64) * (self.in_scale * self.w_scale) + self.bias[None, :]
-        oh, ow = F.conv_out_hw(h, w, fy, fx, self.stride, self.padding)
-        return out.reshape(n, oh, ow, k).transpose(0, 3, 1, 2)
+        return self.epilogue(acc, n, h, w)
 
 
 class _QBlock:
@@ -211,6 +333,105 @@ def _fold_to_qconv(conv: Conv2d, bn: Optional[BatchNorm2d]) -> QuantizedConv:
     return QuantizedConv(
         name=conv.name, weight=weight, bias=bias, stride=conv.stride, padding=conv.padding
     )
+
+
+def _frozen(arr: np.ndarray) -> np.ndarray:
+    """Mark a cached array read-only (shared across trials and campaigns)."""
+    arr.flags.writeable = False
+    return arr
+
+
+def _windows_nhwc(x: np.ndarray, fy: int, fx: int, stride: int) -> np.ndarray:
+    """Sliding ``(n, oh, ow, fy, fx, c)`` window view of an NHWC tensor."""
+    n, h, w, c = x.shape
+    oh = (h - fy) // stride + 1
+    ow = (w - fx) // stride + 1
+    s = x.strides
+    return np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, oh, ow, fy, fx, c),
+        strides=(s[0], s[1] * stride, s[2] * stride, s[1], s[2], s[3]),
+        writeable=False,
+    )
+
+
+def _im2col_nhwc(
+    x: np.ndarray, fy: int, fx: int, stride: int, padding: int
+) -> np.ndarray:
+    """Channels-last im2col: ``(N, H, W, C)`` -> ``(N*OH*OW, Fy*Fx*C)``.
+
+    Same GEMM rows (ordered ``(n, oy, ox)``) as
+    :func:`repro.arch.mapper.im2col`, but with the reduction axis ordered
+    ``(fy, fx, c)`` so each gathered window row is ``fx * C`` contiguous
+    elements instead of ``fx`` — the difference between a byte-wise and a
+    cache-line-wise copy on channels-heavy layers.  Pair with
+    :meth:`QuantizedConv._blas_weights_nhwc`, which re-orders the weight
+    rows to match.
+    """
+    if padding:
+        x = np.pad(x, ((0, 0), (padding, padding), (padding, padding), (0, 0)))
+    windows = _windows_nhwc(x, fy, fx, stride)
+    n, oh, ow = windows.shape[:3]
+    return windows.reshape(n * oh * ow, fy * fx * x.shape[3])
+
+
+def _maxpool_nhwc(x: np.ndarray, size: int, stride: int) -> np.ndarray:
+    """Channels-last max pooling, bit-identical to the channels-first op.
+
+    Max is an exact reduction (no rounding), so reading the same window
+    values in a different memory order cannot change any output.
+    """
+    return _windows_nhwc(x, size, size, stride).max(axis=(3, 4))
+
+
+def _to_nhwc(x: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(x.transpose(0, 2, 3, 1))
+
+
+def _to_nchw(x: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(x.transpose(0, 3, 1, 2))
+
+
+def _stack_trials(arr: np.ndarray, n_trials: int) -> np.ndarray:
+    """Tile an ``(N, ...)`` tensor into a trial-major ``(T*N, ...)`` copy."""
+    return np.broadcast_to(arr, (n_trials,) + arr.shape).reshape(
+        (n_trials * arr.shape[0],) + arr.shape[1:]
+    )
+
+
+@dataclass
+class FaultFreePass:
+    """One recorded fault-free forward of a :class:`QuantizedNetwork`.
+
+    The batched injection runtime's operand cache: campaigns over the
+    same ``(network, inputs)`` pair share
+
+    * ``op_outputs`` — each top-level op's output (channels-last, the
+      stacked walk's native layout), so layers before the first injected
+      layer cost nothing per campaign (the shared fault-free prefix);
+    * ``acc`` / ``conv_out`` — every conv's raw integer accumulators and
+      float output, so the *first* injected layer of a campaign re-uses
+      the already-computed accumulators (its input is still fault-free)
+      and only pays for the bit flips;
+    * ``max_abs_acc`` — the per-layer full-batch accumulator maxima that
+      fix the relative-mode flip window (the determinism contract: flip
+      positions depend on the full injected batch, never on evaluation
+      chunking).
+
+    All stored arrays are read-only; consumers copy on write.
+    """
+
+    n_images: int
+    op_outputs: List[np.ndarray] = field(default_factory=list)
+    conv_out: Dict[str, np.ndarray] = field(default_factory=dict)
+    acc: Dict[str, np.ndarray] = field(default_factory=dict)
+    max_abs_acc: Dict[str, int] = field(default_factory=dict)
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint (diagnostics; the pass LRU in
+        :mod:`repro.faults.injection_job` is bounded by entry count)."""
+        arrays = list(self.op_outputs) + list(self.conv_out.values()) + list(self.acc.values())
+        return sum(a.nbytes for a in arrays)
 
 
 class QuantizedNetwork:
@@ -277,11 +498,19 @@ class QuantizedNetwork:
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Full inference: quantized features, float head."""
-        if not self._calibrated:
-            raise QuantizationError("call calibrate(batch) before inference")
-        return self.head.forward(self._forward_features(x))
+        return self.head.forward(self.forward_features(x))
 
     __call__ = forward
+
+    def forward_features(self, x: np.ndarray) -> np.ndarray:
+        """The quantized feature extractor alone (no classifier head).
+
+        What the injector hooks actually observe — measurement passes
+        that only need the conv accumulators use this to skip the head.
+        """
+        if not self._calibrated:
+            raise QuantizationError("call calibrate(batch) before inference")
+        return self._forward_features(x)
 
     # ------------------------------------------------------------------ #
     def calibrate(self, x: np.ndarray) -> None:
@@ -312,15 +541,241 @@ class QuantizedNetwork:
         batch_size: int = 128,
         injector: Optional[Injector] = None,
     ) -> float:
-        """Top-k accuracy of quantized inference, optionally fault-injected."""
+        """Top-k accuracy of quantized inference, optionally fault-injected.
+
+        Accumulates exact per-chunk *correct counts* (not per-chunk
+        accuracy floats), so a short final chunk — a batch size that does
+        not divide ``len(x)`` — can never skew the average.
+        """
         self.set_injector(injector)
         try:
-            correct_weighted = 0.0
+            correct = 0
             for start in range(0, x.shape[0], batch_size):
                 xb = x[start : start + batch_size]
                 yb = y[start : start + batch_size]
                 logits = self.forward(xb)
-                correct_weighted += F.accuracy(logits, yb, topk=topk) * xb.shape[0]
-            return correct_weighted / x.shape[0]
+                correct += F.topk_correct(logits, yb, topk=topk)
+            return correct / x.shape[0]
         finally:
             self.set_injector(None)
+
+    # ------------------------------------------------------------------ #
+    # Trial-batched injection runtime
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _module_nhwc(op: Module, state: np.ndarray) -> np.ndarray:
+        """A float feature-path module applied to a channels-last state.
+
+        Max pooling runs natively channels-last (an exact reduction);
+        any other module sees the standard channels-first tensor it was
+        written for, via a transpose round trip.
+        """
+        if isinstance(op, MaxPool2d):
+            return _maxpool_nhwc(state, op.size, op.stride)
+        op.training = False
+        return _to_nhwc(op.forward(_to_nchw(state)))
+
+    def fault_free_pass(self, x: np.ndarray) -> FaultFreePass:
+        """Record one fault-free forward as a :class:`FaultFreePass`.
+
+        Convolutions run through :meth:`QuantizedConv.accumulate_nhwc`
+        (exact channels-last BLAS GEMMs — bit-identical to the int64
+        reference), so building the pass already costs a fraction of a
+        serial forward.
+        """
+        if not self._calibrated:
+            raise QuantizationError("call calibrate(batch) before inference")
+        pass_ = FaultFreePass(n_images=x.shape[0])
+
+        def run_conv(qc: QuantizedConv, xin: np.ndarray) -> np.ndarray:
+            n, h, w, _ = xin.shape
+            acc = qc.accumulate_nhwc(xin)
+            out = qc.epilogue_nhwc(acc, n, h, w)
+            pass_.acc[qc.name] = _frozen(acc)
+            pass_.conv_out[qc.name] = _frozen(out)
+            pass_.max_abs_acc[qc.name] = int(np.abs(acc).max(initial=0))
+            return out
+
+        state = _to_nhwc(x)
+        for op in self._ops:
+            if isinstance(op, QuantizedConv):
+                state = run_conv(op, state)
+            elif isinstance(op, _QBlock):
+                main = np.maximum(run_conv(op.qconv1, state), 0.0)
+                main = run_conv(op.qconv2, main)
+                residual = (
+                    run_conv(op.qshortcut, state) if op.qshortcut is not None else state
+                )
+                state = np.maximum(main + residual, 0.0)
+            elif isinstance(op, ReLU):
+                state = np.maximum(state, 0.0)
+            elif isinstance(op, Module):
+                state = self._module_nhwc(op, state)
+            else:  # pragma: no cover - defensive, mirrors _forward_features
+                raise TrainingError(f"unexpected op {op!r}")
+            pass_.op_outputs.append(_frozen(state))
+        return pass_
+
+    @staticmethod
+    def _op_injected(op: object, injected: set) -> bool:
+        """Does this op contain a conv the campaign injects into?"""
+        if isinstance(op, QuantizedConv):
+            return op.name in injected
+        if isinstance(op, _QBlock):
+            return any(qc.name in injected for qc in op.qconvs())
+        return False
+
+    def _conv_trials(
+        self,
+        qc: QuantizedConv,
+        state: np.ndarray,
+        forked: bool,
+        injectors: Sequence[Injector],
+        injected: set,
+        prefix: FaultFreePass,
+    ) -> Tuple[np.ndarray, bool]:
+        """One conv under the stacked-trial walk.
+
+        Three cases: still fault-free (serve the cached output), fork
+        point (re-use the cached fault-free accumulators, pay only for
+        the per-trial flips), or already forked (one ``(T*N, ...)`` GEMM
+        for all trials, then per-trial flips).
+        """
+        n_trials = len(injectors)
+        if not forked:
+            if qc.name not in injected:
+                return prefix.conv_out[qc.name], False
+            n, h, w, _ = state.shape
+            acc0 = prefix.acc[qc.name]
+            acc = np.concatenate([inj(acc0, qc) for inj in injectors], axis=0)
+            return qc.epilogue_nhwc(acc, n_trials * n, h, w), True
+        tn, h, w, _ = state.shape
+        acc = qc.accumulate_nhwc(state)
+        if qc.name in injected:
+            per_trial = acc.reshape(n_trials, -1, acc.shape[1])
+            acc = np.concatenate(
+                [injectors[t](per_trial[t], qc) for t in range(n_trials)], axis=0
+            )
+        return qc.epilogue_nhwc(acc, tn, h, w), True
+
+    def _block_trials(
+        self,
+        block: _QBlock,
+        state: np.ndarray,
+        forked: bool,
+        injectors: Sequence[Injector],
+        injected: set,
+        prefix: FaultFreePass,
+    ) -> Tuple[np.ndarray, bool]:
+        """A residual block under the stacked-trial walk.
+
+        Main path and shortcut may fork independently (e.g. only the
+        shortcut conv is injected); whichever side stays fault-free is
+        tiled to the trial axis before the residual add.
+        """
+        n_trials = len(injectors)
+        main, f_main = self._conv_trials(
+            block.qconv1, state, forked, injectors, injected, prefix
+        )
+        main = np.maximum(main, 0.0)
+        main, f_main = self._conv_trials(
+            block.qconv2, main, f_main, injectors, injected, prefix
+        )
+        if block.qshortcut is not None:
+            short, f_short = self._conv_trials(
+                block.qshortcut, state, forked, injectors, injected, prefix
+            )
+        else:
+            short, f_short = state, forked
+        if f_main and not f_short:
+            short = _stack_trials(short, n_trials)
+        elif f_short and not f_main:
+            main = _stack_trials(main, n_trials)
+        return np.maximum(main + short, 0.0), f_main or f_short
+
+    def forward_trials(
+        self,
+        x: np.ndarray,
+        injectors: Sequence[Injector],
+        prefix: Optional[FaultFreePass] = None,
+    ) -> np.ndarray:
+        """All trials' quantized features in one stacked forward pass.
+
+        ``injectors`` holds one per-trial fault hook (one seeded
+        :class:`~repro.faults.injection.BitFlipInjector` per trial);
+        each must expose the campaign's common ``ber_per_layer`` table.
+        Layers before the first injected layer are shared fault-free
+        work served from ``prefix``; from the fork on, every layer runs
+        as a single ``(T*N, ...)`` exact channels-last BLAS GEMM with
+        per-trial flips applied to the full-layer accumulator tensor.
+        Returns features shaped ``(T*N, C, H, W)`` in trial-major order,
+        bit-identical to T independent serial forwards.
+        """
+        if not self._calibrated:
+            raise QuantizationError("call calibrate(batch) before inference")
+        if not injectors:
+            raise QuantizationError("need at least one trial injector")
+        tables = [dict(getattr(inj, "ber_per_layer")) for inj in injectors]
+        if any(table != tables[0] for table in tables[1:]):
+            raise QuantizationError(
+                "trial injectors must share one BER table (trials differ by seed only)"
+            )
+        injected = {name for name, ber in tables[0].items() if ber > 0.0}
+        prefix = prefix if prefix is not None else self.fault_free_pass(x)
+        if prefix.n_images != x.shape[0]:
+            raise QuantizationError(
+                f"fault-free pass covers {prefix.n_images} images, got {x.shape[0]}"
+            )
+        state, forked = _to_nhwc(x), False
+        for i, op in enumerate(self._ops):
+            if not forked and not self._op_injected(op, injected):
+                # Shared fault-free prefix: every op before the fork —
+                # convs, blocks, activations, pooling — is served from
+                # the recorded pass instead of recomputed.
+                state = prefix.op_outputs[i]
+            elif isinstance(op, QuantizedConv):
+                state, forked = self._conv_trials(
+                    op, state, forked, injectors, injected, prefix
+                )
+            elif isinstance(op, _QBlock):
+                state, forked = self._block_trials(
+                    op, state, forked, injectors, injected, prefix
+                )
+            elif isinstance(op, ReLU):
+                state = np.maximum(state, 0.0)
+            elif isinstance(op, Module):
+                state = self._module_nhwc(op, state)
+            else:  # pragma: no cover - defensive, mirrors _forward_features
+                raise TrainingError(f"unexpected op {op!r}")
+        if not forked:
+            state = _stack_trials(state, len(injectors))
+        return _to_nchw(state)
+
+    def evaluate_trials(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        injectors: Sequence[Injector],
+        topk: int = 1,
+        batch_size: int = 128,
+        prefix: Optional[FaultFreePass] = None,
+    ) -> List[float]:
+        """Per-trial top-k accuracies from one stacked forward pass.
+
+        The float classifier head is evaluated per trial in chunks of
+        ``batch_size`` — exactly the shapes the serial
+        :meth:`evaluate` loop produces — so the returned accuracies are
+        bit-identical to running each trial through ``evaluate`` with
+        the same batch size.
+        """
+        features = self.forward_trials(x, injectors, prefix=prefix)
+        n = x.shape[0]
+        per_trial = features.reshape((len(injectors), n) + features.shape[1:])
+        accuracies: List[float] = []
+        for t in range(len(injectors)):
+            correct = 0
+            for start in range(0, n, batch_size):
+                logits = self.head.forward(per_trial[t, start : start + batch_size])
+                correct += F.topk_correct(logits, y[start : start + batch_size], topk)
+            accuracies.append(correct / n)
+        return accuracies

@@ -24,7 +24,7 @@ from pathlib import Path
 import pytest
 
 from repro.engine import SimEngine, engine_context
-from repro.experiments import fig2, fig7, table1
+from repro.experiments import fig2, fig7, fig10, fig11, table1
 from repro.experiments.common import get_scale
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
@@ -130,6 +130,41 @@ def test_golden_fig7_micro(update_golden, golden_engine):
         "ter": result.ter,
     }
     check_golden("fig7_micro", payload, update_golden)
+
+
+def _grid_payload(grid):
+    return {
+        "recipe": grid.recipe,
+        "corners": grid.corners,
+        "topk": grid.topk,
+        "clean_accuracy": grid.clean_accuracy,
+        "accuracy": grid.accuracy,
+        "mean_ber": grid.mean_ber,
+    }
+
+
+def test_golden_fig10_micro(update_golden, golden_engine):
+    """Pins the full TER -> Eq.1 BER -> injection-accuracy pipeline.
+
+    The injection campaigns run on the trial-batched runtime (the
+    default); the runtime-equivalence suite guarantees the serial loop
+    would pin identical numbers, so this fixture is also the drift alarm
+    for the injection protocol itself (schema v2: per-(trial, layer)
+    streams, full-batch MSB windows).
+    """
+    result = fig10.run(scale=get_scale(SCALE))
+    payload = {"scale": SCALE, "grids": [_grid_payload(g) for g in result.grids]}
+    check_golden("fig10_micro", payload, update_golden)
+
+
+def test_golden_fig11_micro(update_golden, golden_engine):
+    result = fig11.run(scale=get_scale(SCALE))
+    payload = {
+        "scale": SCALE,
+        "injected_layers": result.injected_layers,
+        "grids": [_grid_payload(g) for g in result.grids],
+    }
+    check_golden("fig11_micro", payload, update_golden)
 
 
 def test_golden_table1(update_golden):

@@ -7,6 +7,8 @@ cache.  Anything less would make cached accuracy grids silently diverge
 from fresh ones.
 """
 
+import dataclasses
+
 import pytest
 
 from repro.engine import SimEngine
@@ -19,9 +21,11 @@ from repro.faults import (
     bers_from_layer_ters,
     evaluate_bundle_under_injection,
     injection_job_for_bundle,
+    injection_runtime,
     run_injection_trials,
     trial_seed,
 )
+from repro.faults.injection_job import INJECTION_SCHEMA_VERSION
 
 MICRO = SCALES["micro"]
 
@@ -97,6 +101,51 @@ class TestJobKey:
             )
         with pytest.raises(ConfigurationError):
             InjectionJob(recipe="x", scale=object(), bers={}, inject_n=1, n_trials=1)
+        with pytest.raises(ConfigurationError):
+            InjectionJob(
+                recipe="x", scale=MICRO, bers={}, inject_n=1, n_trials=1,
+                runtime="vectorized-maybe",
+            )
+
+    def test_schema_version_bumped_for_v2_protocol(self):
+        # v2 = per-(trial, layer) substreams + full-batch MSB windows;
+        # v1 cache entries must miss rather than deserialize as current.
+        assert INJECTION_SCHEMA_VERSION >= 2
+
+    def test_runtime_excluded_from_key(self, bundle):
+        # Both runtimes are bit-identical by contract, so — like the
+        # engine backend for SimJob — the choice must not split the cache.
+        a = make_job(bundle, runtime="serial")
+        b = make_job(bundle, runtime="batched")
+        assert a.key() == b.key() == make_job(bundle).key()
+
+    def test_runtime_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_INJECTION_RUNTIME", raising=False)
+        assert injection_runtime() == "batched"
+        assert injection_runtime("serial") == "serial"
+        monkeypatch.setenv("REPRO_INJECTION_RUNTIME", "serial")
+        assert injection_runtime() == "serial"
+        assert injection_runtime("batched") == "batched"  # explicit wins
+        with pytest.raises(ConfigurationError):
+            injection_runtime("sideways")
+
+    def test_configure_without_flag_restores_launch_env(self, monkeypatch):
+        # A flag-less CLI run after a flagged one must see the default
+        # again, not the leaked flag of the previous invocation.
+        from repro.faults import configure_injection_runtime
+        import repro.faults.injection_job as ij
+
+        monkeypatch.delenv("REPRO_INJECTION_RUNTIME", raising=False)
+        monkeypatch.setattr(ij, "_ENV_BEFORE_CONFIGURE", None)
+        assert configure_injection_runtime("serial") == "serial"
+        assert injection_runtime() == "serial"
+        assert configure_injection_runtime(None) == "batched"
+        assert injection_runtime() == "batched"
+        # a user-launched env value survives the configure round trip
+        monkeypatch.setenv("REPRO_INJECTION_RUNTIME", "serial")
+        configure_injection_runtime("batched")
+        assert injection_runtime() == "batched"
+        assert configure_injection_runtime(None) == "serial"
 
 
 class TestReproducibility:
@@ -142,6 +191,70 @@ class TestReproducibility:
         result = make_job(bundle, n_trials=2).execute()
         assert len(result.trial_accuracies) == 2
         assert result.flips_injected > 0
+
+    def test_batched_path_through_pool_and_cache(self, bundle, tmp_path):
+        """The stacked runtime end-to-end: pool fan-out + warm cache + the
+        serial reference all agree bit-for-bit on the same job batch."""
+        jobs = [make_job(bundle, base_seed=s, runtime="batched") for s in (21, 22)]
+        serial_jobs = [dataclasses.replace(j, runtime="serial") for j in jobs]
+        pooled = SimEngine(backend="fast", jobs=2, use_cache=False).run_many(jobs)
+        engine = SimEngine(backend="fast", cache_dir=tmp_path)
+        cold = engine.run_many(jobs)
+        warm = engine.run_many(jobs)
+        assert engine.stats.hits == len(jobs)
+        serial = SimEngine(backend="fast", use_cache=False).run_many(serial_jobs)
+        for p, c, w, s in zip(pooled, cold, warm, serial):
+            assert p.trial_accuracies == c.trial_accuracies == w.trial_accuracies
+            assert s.trial_accuracies == c.trial_accuracies
+            assert p.flips_injected == c.flips_injected == s.flips_injected
+
+    def test_operand_pass_memoized_across_jobs(self, bundle):
+        """A grid of same-bundle jobs shares one fault-free operand pass
+        (and the in-process bundle memo), instead of paying per job."""
+        import repro.faults.injection_job as ij
+
+        ij._PASS_CACHE.clear()
+        jobs = [make_job(bundle, base_seed=s, runtime="batched") for s in (31, 32, 33)]
+        first = jobs[0].execute()
+        assert len(ij._PASS_CACHE) == 1
+        key, pass_before = next(iter(ij._PASS_CACHE.items()))
+        for job in jobs[1:]:
+            job.execute()
+        assert len(ij._PASS_CACHE) == 1
+        assert ij._PASS_CACHE[key] is pass_before  # reused, not rebuilt
+        assert first.flips_injected > 0
+
+    def test_operand_pass_cache_bounded_by_bytes(self, bundle, monkeypatch):
+        """The pass LRU evicts on total bytes, keeping the freshest pass."""
+        import repro.faults.injection_job as ij
+
+        ij._PASS_CACHE.clear()
+        make_job(bundle, base_seed=41, runtime="batched").execute()
+        assert len(ij._PASS_CACHE) == 1
+        one_pass = next(iter(ij._PASS_CACHE.values()))
+        monkeypatch.setattr(ij, "_PASS_CACHE_MAX_BYTES", one_pass.nbytes())
+        # a second bundle identity (different inject_n) must evict the first
+        job = InjectionJob(
+            recipe=bundle.recipe,
+            scale=bundle.scale,
+            bers=dict(make_job(bundle).bers),
+            inject_n=8,
+            n_trials=1,
+            runtime="batched",
+        )
+        job.execute()
+        assert len(ij._PASS_CACHE) == 1
+        assert next(iter(ij._PASS_CACHE.values())) is not one_pass
+        ij._PASS_CACHE.clear()
+
+    def test_runtimes_share_cache_entries(self, bundle, tmp_path):
+        """A serial job recalls a batched job's cached result (same key)."""
+        engine = SimEngine(backend="fast", cache_dir=tmp_path)
+        batched = engine.run(make_job(bundle, runtime="batched"))
+        assert engine.stats.misses == 1
+        recalled = engine.run(make_job(bundle, runtime="serial"))
+        assert engine.stats.hits == 1
+        assert recalled.trial_accuracies == batched.trial_accuracies
 
 
 class TestAgainstInlineEvaluator:
