@@ -28,7 +28,14 @@ from ..errors import ShapeError
 
 @dataclass(frozen=True)
 class ConvShape:
-    """Static shape information of a lowered convolution layer."""
+    """Static shape information of a lowered convolution layer.
+
+    ``groups > 1`` describes a grouped convolution: the layer lowers to
+    ``groups`` independent GEMMs, one per contiguous (input, output)
+    channel block (``groups == c`` is depthwise).  Each group's GEMM has
+    the same row count but a ``groups``-times shorter reduction and
+    ``k // groups`` output columns.
+    """
 
     n: int
     c: int
@@ -39,6 +46,16 @@ class ConvShape:
     fx: int
     stride: int = 1
     padding: int = 0
+    groups: int = 1
+
+    def __post_init__(self) -> None:
+        if self.groups < 1:
+            raise ShapeError("groups must be >= 1")
+        if self.c % self.groups or self.k % self.groups:
+            raise ShapeError(
+                f"groups={self.groups} must divide both channel counts "
+                f"(C={self.c}, K={self.k})"
+            )
 
     @property
     def out_h(self) -> int:
@@ -54,9 +71,23 @@ class ConvShape:
         return self.n * self.out_h * self.out_w
 
     @property
+    def c_per_group(self) -> int:
+        """Input channels read by each output-channel block."""
+        return self.c // self.groups
+
+    @property
+    def k_per_group(self) -> int:
+        """Output channels per group GEMM."""
+        return self.k // self.groups
+
+    @property
     def reduction(self) -> int:
-        """GEMM reduction length ``C * Fy * Fx`` (MACs per output)."""
-        return self.c * self.fy * self.fx
+        """Per-group GEMM reduction length ``(C / groups) * Fy * Fx``.
+
+        This is Eq. 1's ``N`` — the MACs accumulated per output — which
+        for a grouped layer only spans the group's own input channels.
+        """
+        return self.c_per_group * self.fy * self.fx
 
 
 def lower_weights(weights: np.ndarray) -> np.ndarray:
@@ -108,16 +139,37 @@ def conv2d_reference(
     weights: np.ndarray,
     stride: int = 1,
     padding: int = 0,
+    groups: int = 1,
 ) -> np.ndarray:
     """Golden integer convolution via the lowering (used by correctness tests).
 
     Returns ``(N, K, OH, OW)`` in int64 — the exact value a fault-free
-    accelerator must produce regardless of computation order.
+    accelerator must produce regardless of computation order.  With
+    ``groups > 1`` the weights have shape ``(K, C // groups, Fy, Fx)``
+    and the layer runs as ``groups`` independent lowered GEMMs over
+    contiguous channel blocks.
     """
     inputs = np.asarray(inputs)
     weights = np.asarray(weights)
-    n = inputs.shape[0]
-    k, _, fy, fx = weights.shape
+    n, c = inputs.shape[0], inputs.shape[1]
+    k, c_per_group, fy, fx = weights.shape
+    if groups < 1 or c % groups or k % groups or c // groups != c_per_group:
+        raise ShapeError(
+            f"weights {weights.shape} do not match {c} input channels in {groups} group(s)"
+        )
+    if groups > 1:
+        return np.concatenate(
+            [
+                conv2d_reference(
+                    inputs[:, g * c_per_group : (g + 1) * c_per_group],
+                    weights[g * (k // groups) : (g + 1) * (k // groups)],
+                    stride=stride,
+                    padding=padding,
+                )
+                for g in range(groups)
+            ],
+            axis=1,
+        )
     act = im2col(inputs, fy, fx, stride=stride, padding=padding).astype(np.int64)
     wmat = lower_weights(weights).astype(np.int64)
     out = act @ wmat  # (N*OH*OW, K)

@@ -5,6 +5,7 @@ Usage::
     read-repro list
     read-repro fig8 --scale small
     read-repro all --scale tiny --jobs 4 --backend fast
+    read-repro sweep --suite mobile --scale micro
     python -m repro fig10 --no-cache
 
 Each experiment subcommand prints the same rows/series the paper reports
@@ -31,7 +32,10 @@ from typing import List, Optional
 from .engine import backend_names, configure_default_engine
 from .experiments import RUNNERS, SCALES, get_scale, run_all
 from .experiments.orchestrator import SCALELESS
+from .experiments.sweep import render as render_suite
+from .experiments.sweep import run_suite
 from .faults import INJECTION_RUNTIMES, configure_injection_runtime
+from .scenarios import suite_names
 
 
 def _positive_int(value: str) -> int:
@@ -124,6 +128,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="artifacts directory (default: artifacts/<scale>/)",
     )
 
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="run a scenario suite (grouped convs, head-as-conv, mixed precision)",
+        description=(
+            "Run one named scenario suite as a single orchestrated engine sweep: "
+            "every scenario's layer-TER jobs (per conv group, classifier head "
+            "included) and injection campaigns are planned up front, "
+            "deduplicated, and executed through the shared cache and process "
+            "pool.  Suites: " + ", ".join(suite_names()) + "."
+        ),
+        epilog="example: read-repro sweep --suite mobile --scale micro --jobs 4",
+    )
+    sweep_parser.add_argument(
+        "--suite",
+        choices=suite_names(),
+        required=True,
+        help="scenario suite to run (see repro.scenarios.SUITES)",
+    )
+    _scale_flag(sweep_parser)
+    _engine_flags(sweep_parser)
+
     for name in sorted(RUNNERS):
         sub = subparsers.add_parser(
             name,
@@ -172,6 +197,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     # Exported via the environment so engine pool workers inherit it.
     configure_injection_runtime(args.injection_runtime)
+    if args.experiment == "sweep":
+        scale = get_scale(args.scale)
+        start = time.time()
+        result = run_suite(args.suite, scale=scale, engine=engine)
+        print(f"=== sweep:{args.suite} " + "=" * max(0, 52 - len(args.suite)))
+        print(render_suite(result))
+        print(f"--- sweep:{args.suite} done in {time.time() - start:.1f}s\n")
+        _print_engine_summary(engine)
+        return 0
     if args.experiment == "all":
         scale = get_scale(args.scale)
         result = run_all(scale=scale, artifacts_dir=args.artifacts, engine=engine)

@@ -37,6 +37,8 @@ RUNNERS = {
 
 from . import orchestrator  # noqa: E402  (needs RUNNERS above)
 from .orchestrator import OrchestratorResult, run_all  # noqa: E402
+from . import sweep  # noqa: E402  (needs orchestrator above)
+from .sweep import SuiteResult, run_suite  # noqa: E402
 
 __all__ = [
     "ALL_STRATEGIES",
@@ -46,6 +48,7 @@ __all__ = [
     "ExperimentScale",
     "LayerTerRecord",
     "OrchestratorResult",
+    "SuiteResult",
     "TrainedBundle",
     "fig10",
     "fig11",
@@ -63,5 +66,7 @@ __all__ = [
     "record_operand_streams",
     "render_table",
     "run_all",
+    "run_suite",
+    "sweep",
     "table1",
 ]

@@ -34,7 +34,7 @@ from ..hw.variations import PvtaCondition
 from ..nn.datasets import load_dataset
 from ..nn.layers import BatchNorm2d
 from ..nn.models import ClassifierNetwork, build_model
-from ..nn.quantize import QuantizedNetwork
+from ..nn.quantize import QuantizedNetwork, canonical_bits
 from ..nn.training import Trainer
 
 #: All strategies compared across the figures, in plotting order.
@@ -90,12 +90,14 @@ def get_scale(name: Optional[str] = None) -> ExperimentScale:
     return SCALES[name]
 
 
-#: The paper's four model/dataset combinations (Section V-A).
+#: The paper's four model/dataset combinations (Section V-A), plus the
+#: scenario registry's depthwise-separable mobile workload.
 MODEL_RECIPES: Dict[str, Tuple[str, str]] = {
     "vgg16_cifar10": ("vgg16", "cifar10_like"),
     "resnet18_cifar10": ("resnet18", "cifar10_like"),
     "vgg16_cifar100": ("vgg16", "cifar100_like"),
     "resnet34_imagenet32": ("resnet34", "imagenet32_like"),
+    "mobilenet_cifar10": ("mobilenet", "cifar10_like"),
 }
 
 
@@ -111,9 +113,13 @@ class TrainedBundle:
     float_accuracy: float
     quant_accuracy: float
     scale: ExperimentScale
+    #: Per-layer quantization bit widths (resolved, name-sorted) and the
+    #: default applied to unlisted layers — the mixed-precision axis.
+    bits_per_layer: Tuple[Tuple[str, int], ...] = ()
+    default_bits: int = 8
 
 
-_BUNDLE_CACHE: Dict[Tuple[str, str, int], TrainedBundle] = {}
+_BUNDLE_CACHE: Dict[Tuple, TrainedBundle] = {}
 
 
 def cache_dir() -> Path:
@@ -169,15 +175,25 @@ def load_model_state(model: ClassifierNetwork, path: Path) -> None:
                 bn_idx += 1
 
 
-def get_bundle(recipe: str, scale: Optional[ExperimentScale] = None, seed: int = 0) -> TrainedBundle:
+def get_bundle(
+    recipe: str,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    bits_per_layer: Optional[object] = None,
+    default_bits: int = 8,
+) -> TrainedBundle:
     """Train-or-load one of the paper's model/dataset combinations.
 
-    Results are cached in-memory per (recipe, scale) and on disk keyed by
-    the training hyper-parameters, so repeated experiment runs re-use one
-    training run.
+    Results are cached in-memory per (recipe, scale, seed, bits) and on
+    disk keyed by the training hyper-parameters, so repeated experiment
+    runs re-use one training run.  ``bits_per_layer`` / ``default_bits``
+    select a mixed-precision quantization of the *same* trained float
+    parameters: training is precision-independent, so every precision
+    variant of a recipe shares one on-disk parameter snapshot.
     """
     scale = scale or get_scale()
-    key = (recipe, scale.name, seed)
+    bits = canonical_bits(bits_per_layer, default_bits)
+    key = (recipe, scale.name, seed, bits, default_bits)
     if key in _BUNDLE_CACHE:
         return _BUNDLE_CACHE[key]
     if recipe not in MODEL_RECIPES:
@@ -203,7 +219,7 @@ def get_bundle(recipe: str, scale: Optional[ExperimentScale] = None, seed: int =
         float_acc = history.final_test_accuracy
         save_model_state(model, state_path)
 
-    qnet = QuantizedNetwork(model)
+    qnet = QuantizedNetwork(model, bits_per_layer=dict(bits), default_bits=default_bits)
     qnet.calibrate(x_train[: min(64, x_train.shape[0])])
     quant_acc = qnet.evaluate(x_test[: scale.inject_n], y_test[: scale.inject_n])
 
@@ -216,6 +232,8 @@ def get_bundle(recipe: str, scale: Optional[ExperimentScale] = None, seed: int =
         float_accuracy=float_acc,
         quant_accuracy=quant_acc,
         scale=scale,
+        bits_per_layer=bits,
+        default_bits=default_bits,
     )
     _BUNDLE_CACHE[key] = bundle
     return bundle
@@ -226,13 +244,20 @@ def get_bundle(recipe: str, scale: Optional[ExperimentScale] = None, seed: int =
 # ---------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class LayerTerRecord:
-    """TER measurement of one (layer, strategy) pair across corners."""
+    """TER measurement of one (layer, strategy) pair across corners.
+
+    A grouped/depthwise layer is measured as one simulation job per
+    group; this record carries the cycle-weighted aggregate (see
+    :func:`aggregate_group_reports`) with ``groups`` recording how many
+    independent GEMMs contributed.
+    """
 
     layer: str
     strategy: str
     ter_by_corner: Dict[str, float]
     sign_flip_rate: float
     n_macs_per_output: int
+    groups: int = 1
 
 
 def record_operand_streams(
@@ -285,11 +310,14 @@ def layer_ter_jobs(
     seed: int = 0,
     label_prefix: str = "",
 ) -> List[SimJob]:
-    """Build the (layer x strategy) job batch for one network's streams.
+    """Build the (layer x strategy x conv-group) job batch for one network.
 
-    Job order is layer-major (all strategies of layer 0, then layer 1,
-    ...), matching how :func:`measure_layer_ters` re-assembles records.
-    Every runner that measures layer TERs goes through this builder so
+    Job order is layer-major, then strategy, then convolution group
+    (dense layers contribute exactly one job per strategy; a grouped/
+    depthwise layer contributes one job per independent group GEMM —
+    each over its own operand-column slice of the shared pixel sample),
+    matching how :func:`measure_layer_ters` re-assembles records.  Every
+    runner that measures layer TERs goes through this builder so
     identical measurements hash to identical cache keys across figures.
     """
     config = config or AcceleratorConfig()
@@ -297,21 +325,76 @@ def layer_ter_jobs(
     jobs: List[SimJob] = []
     for qc in qnet.qconvs():
         acts = sample_layer_acts(streams, qc.name, max_pixels, seed)
-        wmat = qc.lowered_weight_matrix()
+        group_weights = qc.lowered_group_weights()
+        spans = qc.group_col_spans()
         for strategy in strategies:
-            jobs.append(
-                SimJob(
-                    acts=acts,
-                    weights=wmat,
-                    corners=tuple(corners),
-                    group_size=group_size,
-                    strategy=strategy,
-                    seed=seed,
-                    config=config,
-                    label=f"{label_prefix}{qc.name}:{strategy.value}",
+            for g, ((start, stop), wmat) in enumerate(zip(spans, group_weights)):
+                suffix = f"[g{g}]" if qc.groups > 1 else ""
+                jobs.append(
+                    SimJob(
+                        acts=acts[:, start:stop],
+                        weights=wmat,
+                        corners=tuple(corners),
+                        group_size=group_size,
+                        strategy=strategy,
+                        seed=seed,
+                        config=config,
+                        label=f"{label_prefix}{qc.name}{suffix}:{strategy.value}",
+                    )
                 )
-            )
     return jobs
+
+
+def aggregate_group_reports(
+    layer: str, strategy: MappingStrategy, reports_per_group: List[Dict[str, object]]
+) -> LayerTerRecord:
+    """Fold per-group simulation reports into one :class:`LayerTerRecord`.
+
+    TER is a per-cycle expectation, so the layer-level value is the
+    cycle-weighted mean of the group values (exact: expected errors add
+    over groups); the sign-flip rate aggregates the same way.  The
+    single-group case passes values through untouched, keeping dense
+    layers bit-identical to the pre-grouping measurement.
+    """
+    first = next(iter(reports_per_group[0].values()))
+    if len(reports_per_group) == 1:
+        reports = reports_per_group[0]
+        return LayerTerRecord(
+            layer=layer,
+            strategy=strategy.value,
+            ter_by_corner={name: r.ter for name, r in reports.items()},
+            sign_flip_rate=first.sign_flip_rate,
+            n_macs_per_output=first.n_macs_per_output,
+        )
+    cycles = [next(iter(reports.values())).n_cycles for reports in reports_per_group]
+    total = float(sum(cycles))
+    ter_by_corner = {
+        name: sum(
+            reports[name].ter * n for reports, n in zip(reports_per_group, cycles)
+        )
+        / total
+        for name in reports_per_group[0]
+    }
+    flip_rate = (
+        sum(
+            next(iter(reports.values())).sign_flip_rate * n
+            for reports, n in zip(reports_per_group, cycles)
+        )
+        / total
+    )
+    n_macs = {next(iter(r.values())).n_macs_per_output for r in reports_per_group}
+    if len(n_macs) != 1:
+        raise ConfigurationError(
+            f"layer {layer}: groups disagree on MACs per output ({sorted(n_macs)})"
+        )
+    return LayerTerRecord(
+        layer=layer,
+        strategy=strategy.value,
+        ter_by_corner=ter_by_corner,
+        sign_flip_rate=float(flip_rate),
+        n_macs_per_output=n_macs.pop(),
+        groups=len(reports_per_group),
+    )
 
 
 def measure_layer_ters(
@@ -324,13 +407,16 @@ def measure_layer_ters(
     max_pixels: int = 48,
     seed: int = 0,
     engine: Optional[SimEngine] = None,
+    streams: Optional[Dict[str, np.ndarray]] = None,
 ) -> Dict[str, List[LayerTerRecord]]:
     """Measure every conv layer's TER under each strategy and corner.
 
     Returns ``{strategy_value: [LayerTerRecord per layer in order]}``.
     The activation streams are the *real* quantized intermediate tensors
     produced by forwarding ``x_images``, sub-sampled to ``max_pixels``
-    GEMM rows per layer (an unbiased per-cycle average).
+    GEMM rows per layer (an unbiased per-cycle average); callers that
+    already recorded the same forward pass can pass its streams in via
+    ``streams`` to skip the re-recording.
 
     The (layer x strategy) measurements are one engine batch: with
     ``engine`` unset the process default (CLI ``--backend/--jobs``,
@@ -338,7 +424,8 @@ def measure_layer_ters(
     result cache, and all corners share one simulation pass per job.
     """
     engine = engine or default_engine()
-    streams = record_operand_streams(qnet, x_images)
+    if streams is None:
+        streams = record_operand_streams(qnet, x_images)
     jobs = layer_ter_jobs(
         qnet,
         streams,
@@ -352,19 +439,12 @@ def measure_layer_ters(
     all_reports = engine.run_many(jobs)
 
     results: Dict[str, List[LayerTerRecord]] = {s.value: [] for s in strategies}
-    job_iter = iter(zip(jobs, all_reports))
+    report_iter = iter(all_reports)
     for qc in qnet.qconvs():
         for strategy in strategies:
-            _, reports = next(job_iter)
-            any_report = next(iter(reports.values()))
+            per_group = [next(report_iter) for _ in range(qc.groups)]
             results[strategy.value].append(
-                LayerTerRecord(
-                    layer=qc.name,
-                    strategy=strategy.value,
-                    ter_by_corner={name: r.ter for name, r in reports.items()},
-                    sign_flip_rate=any_report.sign_flip_rate,
-                    n_macs_per_output=any_report.n_macs_per_output,
-                )
+                aggregate_group_reports(qc.name, strategy, per_group)
             )
     return results
 

@@ -109,7 +109,9 @@ def injection_job_for_bundle(
     """Express one campaign on a trained bundle as a schedulable job.
 
     ``inject_n`` and ``n_trials`` default to the bundle's experiment
-    scale, matching the figure runners.
+    scale, matching the figure runners; the bundle's mixed-precision
+    bit widths travel with the job so workers rebuild the identical
+    quantized network.
     """
     return InjectionJob(
         recipe=bundle.recipe,
@@ -120,6 +122,8 @@ def injection_job_for_bundle(
         topk=topk,
         base_seed=base_seed,
         batch_size=batch_size,
+        bits=bundle.bits_per_layer,
+        default_bits=bundle.default_bits,
         runtime=runtime,
         corner=corner,
         label=label,

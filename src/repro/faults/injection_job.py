@@ -44,6 +44,7 @@ import numpy as np
 
 from ..engine.job import EngineJob, feed_hash
 from ..errors import ConfigurationError
+from ..nn.quantize import canonical_bits
 from .injection import BitFlipInjector, active_msb_from_max, measure_active_msbs
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see execute())
@@ -54,7 +55,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see execute())
 #: v2: per-(trial, layer) RNG substreams + full-batch active-MSB windows
 #: (the trial-batched runtime's determinism contract) replaced the v1
 #: single-stream, per-chunk-MSB protocol.
-INJECTION_SCHEMA_VERSION = 2
+#: v3: the classifier head is lowered to a quantized 1x1 conv (it now
+#: participates in campaigns and shifts every accuracy), and per-layer
+#: mixed-precision bit widths (``bits`` / ``default_bits``) feed the key.
+INJECTION_SCHEMA_VERSION = 3
 
 #: Execution strategies for the repeated trials (see :func:`injection_runtime`).
 INJECTION_RUNTIMES = ("batched", "serial")
@@ -314,6 +318,12 @@ class InjectionJob(EngineJob):
         :class:`BitFlipInjector` configuration.
     bundle_seed:
         Training/dataset seed forwarded to ``get_bundle``.
+    bits / default_bits:
+        Per-layer mixed-precision quantization (layer-name-sorted tuple
+        of ``(layer, n_bits)`` pairs; a dict is accepted and
+        normalized) and the width applied to unlisted layers.  Both
+        feed the content hash — they select a different quantized
+        network over the same trained float parameters.
     runtime:
         Trial execution strategy override (``"batched"``/``"serial"``;
         empty defers to :func:`injection_runtime`).  **Not** hashed: both
@@ -339,6 +349,8 @@ class InjectionJob(EngineJob):
     bit_low: int = 20
     bit_high: int = 23
     bundle_seed: int = 0
+    bits: Union[Mapping[str, int], Tuple[Tuple[str, int], ...]] = ()
+    default_bits: int = 8
     runtime: str = ""
     corner: str = ""
     label: str = ""
@@ -350,6 +362,13 @@ class InjectionJob(EngineJob):
         else:
             bers = tuple(sorted((str(k), float(v)) for k, v in bers))
         object.__setattr__(self, "bers", bers)
+        if not 2 <= self.default_bits <= 16:
+            raise ConfigurationError(f"default_bits {self.default_bits} outside [2, 16]")
+        bits = canonical_bits(self.bits, self.default_bits)
+        for name, n_bits in bits:
+            if not 2 <= n_bits <= 16:
+                raise ConfigurationError(f"layer {name}: n_bits {n_bits} outside [2, 16]")
+        object.__setattr__(self, "bits", bits)
         for name, ber in bers:
             if not 0.0 <= ber <= 1.0:
                 raise ConfigurationError(f"layer {name}: BER {ber} outside [0, 1]")
@@ -383,6 +402,9 @@ class InjectionJob(EngineJob):
         feed_hash(h, *(getattr(self.scale, fld) for fld in _SCALE_FIELDS))
         for name, ber in self.bers:
             feed_hash(h, name, ber)
+        feed_hash(h, self.default_bits, len(self.bits))
+        for name, n_bits in self.bits:
+            feed_hash(h, name, n_bits)
         feed_hash(
             h,
             self.inject_n,
@@ -399,7 +421,14 @@ class InjectionJob(EngineJob):
 
     def _cache_identity(self) -> Tuple:
         """Key of the per-process operand caches (bundle + injected slice)."""
-        return (self.recipe, self.scale.name, self.bundle_seed, self.inject_n)
+        return (
+            self.recipe,
+            self.scale.name,
+            self.bundle_seed,
+            self.bits,
+            self.default_bits,
+            self.inject_n,
+        )
 
     def execute(self, backend_factory=None) -> InjectionResult:
         """Rebuild the trained bundle and replay the seeded trials.
@@ -420,7 +449,13 @@ class InjectionJob(EngineJob):
         """
         from ..experiments.common import get_bundle
 
-        bundle = get_bundle(self.recipe, self.scale, seed=self.bundle_seed)
+        bundle = get_bundle(
+            self.recipe,
+            self.scale,
+            seed=self.bundle_seed,
+            bits_per_layer=self.bits,
+            default_bits=self.default_bits,
+        )
         x = bundle.x_test[: self.inject_n]
         y = bundle.y_test[: self.inject_n]
         resolved = injection_runtime(self.runtime)

@@ -86,7 +86,14 @@ class Module:
 
 
 class Conv2d(Module):
-    """2-D convolution with He-normal initialization."""
+    """2-D convolution with He-normal initialization.
+
+    ``groups`` splits the channel axes the standard way: input channels
+    and output channels are divided into ``groups`` contiguous blocks and
+    block ``g`` of the outputs only reads block ``g`` of the inputs
+    (``groups == in_channels`` is a depthwise convolution).  The weight
+    tensor has shape ``(out_channels, in_channels // groups, Fy, Fx)``.
+    """
 
     def __init__(
         self,
@@ -96,46 +103,95 @@ class Conv2d(Module):
         stride: int = 1,
         padding: int = 0,
         bias: bool = True,
+        groups: int = 1,
         rng: Optional[np.random.Generator] = None,
         name: str = "conv",
     ) -> None:
         if min(in_channels, out_channels, kernel_size) < 1:
             raise ConfigurationError("conv dimensions must be >= 1")
+        if groups < 1:
+            raise ConfigurationError("groups must be >= 1")
+        if in_channels % groups or out_channels % groups:
+            raise ConfigurationError(
+                f"groups={groups} must divide both channel counts "
+                f"({in_channels} -> {out_channels})"
+            )
         rng = rng or np.random.default_rng()
-        fan_in = in_channels * kernel_size * kernel_size
+        fan_in = (in_channels // groups) * kernel_size * kernel_size
         scale = np.sqrt(2.0 / fan_in)
         self.weight = Parameter(
-            rng.normal(0.0, scale, size=(out_channels, in_channels, kernel_size, kernel_size)),
+            rng.normal(
+                0.0,
+                scale,
+                size=(out_channels, in_channels // groups, kernel_size, kernel_size),
+            ),
             name=f"{name}.weight",
         )
         self.bias = Parameter(np.zeros(out_channels), name=f"{name}.bias") if bias else None
         self.stride = stride
         self.padding = padding
+        self.groups = groups
         self.name = name
         self._cache = None
 
+    def _group_slices(self):
+        """Per-group ``(in channels, out channels)`` slices."""
+        c_in = self.weight.data.shape[1]
+        k = self.weight.data.shape[0] // self.groups
+        return [
+            (slice(g * c_in, (g + 1) * c_in), slice(g * k, (g + 1) * k))
+            for g in range(self.groups)
+        ]
+
     def forward(self, x: np.ndarray) -> np.ndarray:
-        out, x_cols = F.conv2d_forward(
-            x,
-            self.weight.data,
-            self.bias.data if self.bias is not None else None,
-            self.stride,
-            self.padding,
-        )
-        self._cache = (x_cols, x.shape)
-        return out
+        bias = self.bias.data if self.bias is not None else None
+        if self.groups == 1:
+            out, x_cols = F.conv2d_forward(x, self.weight.data, bias, self.stride, self.padding)
+            self._cache = ([x_cols], x.shape)
+            return out
+        outs, caches = [], []
+        for in_sl, out_sl in self._group_slices():
+            out_g, cols_g = F.conv2d_forward(
+                x[:, in_sl],
+                self.weight.data[out_sl],
+                bias[out_sl] if bias is not None else None,
+                self.stride,
+                self.padding,
+            )
+            outs.append(out_g)
+            caches.append(cols_g)
+        self._cache = (caches, x.shape)
+        return np.concatenate(outs, axis=1)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise TrainingError("backward called before forward")
-        x_cols, x_shape = self._cache
-        grad_x, grad_w, grad_b = F.conv2d_backward(
-            grad_out, x_cols, x_shape, self.weight.data, self.stride, self.padding
-        )
-        self.weight.grad += grad_w
-        if self.bias is not None:
-            self.bias.grad += grad_b
-        return grad_x
+        caches, x_shape = self._cache
+        if self.groups == 1:
+            grad_x, grad_w, grad_b = F.conv2d_backward(
+                grad_out, caches[0], x_shape, self.weight.data, self.stride, self.padding
+            )
+            self.weight.grad += grad_w
+            if self.bias is not None:
+                self.bias.grad += grad_b
+            return grad_x
+        n, _, h, w = x_shape
+        c_in = self.weight.data.shape[1]
+        grads_x = []
+        for g, (in_sl, out_sl) in enumerate(self._group_slices()):
+            grad_x_g, grad_w_g, grad_b_g = F.conv2d_backward(
+                grad_out[:, out_sl],
+                caches[g],
+                (n, c_in, h, w),
+                self.weight.data[out_sl],
+                self.stride,
+                self.padding,
+            )
+            self.weight.grad[out_sl] += grad_w_g
+            if self.bias is not None:
+                self.bias.grad[out_sl] += grad_b_g
+            grads_x.append(grad_x_g)
+        return np.concatenate(grads_x, axis=1)
 
 
 class Linear(Module):

@@ -39,6 +39,11 @@ VGG16_LAYOUT = [64, 64, "M", 128, 128, "M", 256, 256, 256, "M", 512, 512, 512, "
 #: Blocks per stage for the two ResNets (stage widths 64/128/256/512).
 RESNET_STAGES = {"resnet18": (2, 2, 2, 2), "resnet34": (3, 4, 6, 3)}
 
+#: MobileNet-style layout: (output channels, stride) per depthwise-
+#: separable block, after a 3x3 stem (32x32-input variant — strides
+#: replace the ImageNet version's aggressive early downsampling).
+MOBILENET_LAYOUT = [(64, 1), (128, 2), (128, 1), (256, 2), (256, 1)]
+
 
 @dataclass(frozen=True)
 class ConvLayerInfo:
@@ -161,6 +166,47 @@ def build_resnet(
     return ClassifierNetwork(variant, features, head)
 
 
+def build_mobilenet(
+    n_classes: int = 10,
+    width: float = 0.25,
+    in_channels: int = 3,
+    seed: int = 0,
+) -> ClassifierNetwork:
+    """MobileNet-style depthwise-separable network for 32x32 inputs.
+
+    A 3x3 stem followed by :data:`MOBILENET_LAYOUT` blocks of depthwise
+    3x3 (``groups == channels``) + pointwise 1x1 convolutions, BN + ReLU
+    after each — the workload family whose per-layer GEMMs are short
+    (``Fy*Fx`` for depthwise, ``C`` for pointwise) and therefore exercise
+    READ's reordering on reductions very unlike the dense VGG/ResNet
+    layers.
+    """
+    if n_classes < 2:
+        raise ConfigurationError("need at least 2 classes")
+    rng = np.random.default_rng(seed)
+    c_in = _scaled(32, width)
+    layers: List[Module] = [
+        Conv2d(in_channels, c_in, 3, stride=1, padding=1, bias=False, rng=rng, name="conv0"),
+        BatchNorm2d(c_in, name="bn0"),
+        ReLU(),
+    ]
+    for i, (channels, stride) in enumerate(MOBILENET_LAYOUT, start=1):
+        c_out = _scaled(channels, width)
+        layers += [
+            Conv2d(c_in, c_in, 3, stride=stride, padding=1, bias=False,
+                   groups=c_in, rng=rng, name=f"dw{i}"),
+            BatchNorm2d(c_in, name=f"dw{i}_bn"),
+            ReLU(),
+            Conv2d(c_in, c_out, 1, stride=1, padding=0, bias=False, rng=rng, name=f"pw{i}"),
+            BatchNorm2d(c_out, name=f"pw{i}_bn"),
+            ReLU(),
+        ]
+        c_in = c_out
+    features = Sequential(layers)
+    head = Sequential([GlobalAvgPool(), Linear(c_in, n_classes, rng=rng, name="fc")])
+    return ClassifierNetwork("mobilenet", features, head)
+
+
 def build_model(
     name: str,
     n_classes: int = 10,
@@ -168,9 +214,13 @@ def build_model(
     in_channels: int = 3,
     seed: int = 0,
 ) -> ClassifierNetwork:
-    """Dispatch on model name: ``vgg16`` / ``resnet18`` / ``resnet34``."""
+    """Dispatch on model name: ``vgg16`` / ``resnet18`` / ``resnet34`` / ``mobilenet``."""
     if name == "vgg16":
         return build_vgg16(n_classes=n_classes, width=width, in_channels=in_channels, seed=seed)
+    if name == "mobilenet":
+        return build_mobilenet(
+            n_classes=n_classes, width=width, in_channels=in_channels, seed=seed
+        )
     if name in RESNET_STAGES:
         return build_resnet(
             variant=name, n_classes=n_classes, width=width, in_channels=in_channels, seed=seed

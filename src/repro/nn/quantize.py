@@ -7,17 +7,26 @@ into a :class:`QuantizedNetwork` that
 
 * folds each batch-norm into its preceding convolution (what a deployment
   compiler does — and what determines the weight *signs* READ reorders);
-* quantizes weights per-tensor symmetric int8 and activations per-tensor
-  uint8 (scales from a calibration batch);
+* quantizes weights per-tensor symmetric (int8 by default, any 2-16-bit
+  width per layer) and activations per-tensor unsigned (scales from a
+  calibration batch);
 * executes each convolution as an exact integer GEMM, exposing the raw
   integer accumulators to a fault-injection hook (the paper's
   error-injection point: output activations *before* the activation
   function) and optionally recording the quantized operand streams that
-  the systolic-array TER simulation replays.
+  the systolic-array TER simulation replays;
+* lowers the classifier head's ``Linear`` layers to 1x1 quantized
+  convolutions (``Flatten`` / ``GlobalAvgPool`` become shape adapters),
+  so the head runs on the same integer datapath as every other layer and
+  is covered by TER simulation and fault injection — the seed repro's
+  float-head special case is gone;
+* supports grouped/depthwise convolutions (per-group integer GEMMs over
+  contiguous channel blocks) and per-layer mixed-precision bit widths
+  (``bits_per_layer``: layer name -> n_bits applied to both the weight
+  and activation quantizers; unlisted layers use ``default_bits``).
 
-Non-convolution operators (ReLU, pooling, residual adds, the final
-classifier) execute in float — they are not in the MAC datapath under
-study.
+Non-convolution operators (ReLU, pooling, residual adds) execute in
+float — they are not in the MAC datapath under study.
 """
 
 from __future__ import annotations
@@ -34,6 +43,9 @@ from .layers import (
     BasicBlock,
     BatchNorm2d,
     Conv2d,
+    Flatten,
+    GlobalAvgPool,
+    Linear,
     MaxPool2d,
     Module,
     ReLU,
@@ -64,8 +76,31 @@ def fold_batchnorm(
     return weight, bias
 
 
+def canonical_bits(
+    bits_per_layer: Optional[object], default_bits: int = 8
+) -> Tuple[Tuple[str, int], ...]:
+    """Normalize a per-layer bit-width spec to a name-sorted tuple.
+
+    Entries equal to ``default_bits`` are dropped, so specs that resolve
+    to the same effective quantization normalize — and therefore hash
+    and cache (bundle memo, :class:`~repro.faults.InjectionJob` content
+    key) — identically.  The single normalization every consumer shares.
+    """
+    if not bits_per_layer:
+        return ()
+    items = bits_per_layer.items() if hasattr(bits_per_layer, "items") else bits_per_layer
+    return tuple(
+        sorted((str(k), int(v)) for k, v in items if int(v) != int(default_bits))
+    )
+
+
 def quantize_weights(weight: np.ndarray, n_bits: int = 8) -> Tuple[np.ndarray, float]:
-    """Per-tensor symmetric int8 quantization: returns ``(w_q, scale)``."""
+    """Per-tensor symmetric ``n_bits``-wide quantization: ``(w_q, scale)``.
+
+    ``n_bits=8`` is the paper's int8 datapath; the mixed-precision
+    scenarios narrow individual layers down to 2 bits through this same
+    entry point.
+    """
     max_abs = float(np.abs(weight).max())
     if max_abs == 0:
         return np.zeros_like(weight, dtype=np.int64), 1.0
@@ -87,13 +122,22 @@ class QuantizedConv:
     name:
         Source conv layer name (keys the per-layer TER/BER tables).
     weight_q / w_scale / bias:
-        Folded, quantized parameters.
+        Folded, quantized parameters (``weight_bits`` per-tensor
+        symmetric weights, ``act_bits`` unsigned activations — a
+        mixed-precision network varies these per layer).
+    groups:
+        Grouped-convolution factor: the layer executes as ``groups``
+        independent integer GEMMs over contiguous channel blocks
+        (``groups == in_channels`` is depthwise).
     injector:
         Optional fault hook applied to the raw accumulators.
     recorded_cols:
         When ``record`` is set, the most recent quantized im2col operand
         matrix ``(pixels, C*Fy*Fx)`` — the exact stream the systolic
-        simulator replays for TER measurement.
+        simulator replays for TER measurement.  For a grouped layer the
+        reduction axis is the concatenation of the per-group operand
+        blocks (identical to the dense im2col, channels being contiguous
+        per group); group ``g`` owns columns ``group_col_spans()[g]``.
     """
 
     def __init__(
@@ -104,24 +148,33 @@ class QuantizedConv:
         stride: int,
         padding: int,
         act_bits: int = 8,
+        weight_bits: int = 8,
+        groups: int = 1,
     ) -> None:
+        if groups < 1 or weight.shape[0] % groups:
+            raise QuantizationError(
+                f"layer {name}: groups={groups} must divide the "
+                f"{weight.shape[0]} output channels"
+            )
         self.name = name
         self.weight_float = weight
-        self.weight_q, self.w_scale = quantize_weights(weight)
+        self.weight_q, self.w_scale = quantize_weights(weight, n_bits=weight_bits)
         self.bias = bias
         self.stride = stride
         self.padding = padding
         self.act_bits = act_bits
+        self.weight_bits = weight_bits
+        self.groups = groups
         self.in_scale: Optional[float] = None
         self._observed_max = 0.0
         self.injector: Optional[Injector] = None
         self.record = False
         self.recorded_cols: Optional[np.ndarray] = None
 
-        self._lowered: Optional[np.ndarray] = None
-        self._blas_weights: Optional[np.ndarray] = None
+        self._lowered: Optional[List[np.ndarray]] = None
+        self._blas_weights: Optional[List[np.ndarray]] = None
         self._blas_checked = False
-        self._blas_weights_hwc: Optional[np.ndarray] = None
+        self._blas_weights_hwc: Optional[List[np.ndarray]] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -129,23 +182,53 @@ class QuantizedConv:
         return self.weight_q.shape[0]
 
     @property
+    def in_channels(self) -> int:
+        """Input channels consumed (``C``, summed over groups)."""
+        return self.weight_q.shape[1] * self.groups
+
+    @property
     def kernel_area(self) -> int:
         return self.weight_q.shape[2] * self.weight_q.shape[3]
 
     @property
     def n_macs_per_output(self) -> int:
-        """Reduction length N of Eq. 1."""
+        """Reduction length N of Eq. 1 (per output — i.e. per group)."""
         return int(np.prod(self.weight_q.shape[1:]))
 
-    def lowered_weight_matrix(self) -> np.ndarray:
-        """Quantized GEMM weight matrix ``(C*Fy*Fx, K)`` for READ planning."""
-        return self._lowered_weights().copy()
+    def group_col_spans(self) -> List[Tuple[int, int]]:
+        """Per-group ``(start, stop)`` column spans of the im2col matrix.
 
-    def _lowered_weights(self) -> np.ndarray:
-        """Memoized lowered weight matrix (weights are frozen post-build)."""
+        The dense im2col reduction axis is ordered ``(c, fy, fx)`` with
+        channels outermost, so each group's operands are one contiguous
+        block of ``(C / groups) * Fy * Fx`` columns.
+        """
+        span = self.n_macs_per_output
+        return [(g * span, (g + 1) * span) for g in range(self.groups)]
+
+    def lowered_weight_matrix(self) -> np.ndarray:
+        """Quantized GEMM weight matrix ``(C*Fy*Fx, K)`` for READ planning.
+
+        Only meaningful for dense layers; a grouped layer is ``groups``
+        independent GEMMs — use :meth:`lowered_group_weights`.
+        """
+        if self.groups != 1:
+            raise QuantizationError(
+                f"layer {self.name} has groups={self.groups}; use lowered_group_weights()"
+            )
+        return self._lowered_weights()[0].copy()
+
+    def lowered_group_weights(self) -> List[np.ndarray]:
+        """Per-group GEMM weight matrices ``((C/g)*Fy*Fx, K/g)``, copied."""
+        return [w.copy() for w in self._lowered_weights()]
+
+    def _lowered_weights(self) -> List[np.ndarray]:
+        """Memoized per-group lowered weight matrices (frozen post-build)."""
         if self._lowered is None:
-            k = self.weight_q.shape[0]
-            self._lowered = self.weight_q.reshape(k, -1).T.copy()
+            k_g = self.weight_q.shape[0] // self.groups
+            self._lowered = [
+                self.weight_q[g * k_g : (g + 1) * k_g].reshape(k_g, -1).T.copy()
+                for g in range(self.groups)
+            ]
         return self._lowered
 
     def acc_bound(self) -> int:
@@ -163,8 +246,8 @@ class QuantizedConv:
         col_sums = np.abs(self.weight_q.reshape(self.out_channels, -1)).sum(axis=1)
         return int(q_max) * int(col_sums.max(initial=0))
 
-    def _blas_weight_matrix(self) -> Optional[np.ndarray]:
-        """The lowered weights in the widest-exact BLAS dtype (or None).
+    def _blas_weight_matrix(self) -> Optional[List[np.ndarray]]:
+        """The per-group lowered weights in the widest-exact BLAS dtype.
 
         ``None`` means no float dtype can represent the datapath exactly
         (accumulator bound >= 2**53) and callers must fall back to the
@@ -173,27 +256,34 @@ class QuantizedConv:
         if not self._blas_checked:
             bound = self.acc_bound()
             if bound < (1 << 24):
-                self._blas_weights = self._lowered_weights().astype(np.float32)
+                self._blas_weights = [w.astype(np.float32) for w in self._lowered_weights()]
             elif bound < (1 << 53):
-                self._blas_weights = self._lowered_weights().astype(np.float64)
+                self._blas_weights = [w.astype(np.float64) for w in self._lowered_weights()]
             else:  # pragma: no cover - needs a >2**45-element reduction
                 self._blas_weights = None
             self._blas_checked = True
         return self._blas_weights
 
-    def _blas_weights_nhwc(self) -> Optional[np.ndarray]:
+    def _blas_weights_nhwc(self) -> Optional[List[np.ndarray]]:
         """Lowered BLAS weights with the reduction re-ordered ``(fy,fx,c)``.
 
         The channels-last GEMM of :meth:`accumulate_nhwc` sums exactly
         the same integer products in a different order, which an exact
         datapath cannot observe — so the accumulators stay bit-identical
-        while the operand gather runs over contiguous channel runs.
+        while the operand gather runs over contiguous channel runs.  One
+        matrix per group, each ``(Fy*Fx*(C/g), K/g)``.
         """
         if self._blas_weights_hwc is None and self._blas_weight_matrix() is not None:
-            k = self.weight_q.shape[0]
-            self._blas_weights_hwc = np.ascontiguousarray(
-                self.weight_q.transpose(2, 3, 1, 0).reshape(-1, k)
-            ).astype(self._blas_weights.dtype)
+            k_g = self.weight_q.shape[0] // self.groups
+            dtype = self._blas_weights[0].dtype
+            self._blas_weights_hwc = [
+                np.ascontiguousarray(
+                    self.weight_q[g * k_g : (g + 1) * k_g]
+                    .transpose(2, 3, 1, 0)
+                    .reshape(-1, k_g)
+                ).astype(dtype)
+                for g in range(self.groups)
+            ]
         return self._blas_weights_hwc
 
     def accumulate_nhwc(self, x: np.ndarray) -> np.ndarray:
@@ -215,16 +305,10 @@ class QuantizedConv:
         traffic.  Falls back to the int64 reference on the (unreachable
         in practice) overflow case.
         """
-        w = self._blas_weights_nhwc()
-        if w is None:  # pragma: no cover - see _blas_weight_matrix
+        w_groups = self._blas_weights_nhwc()
+        if w_groups is None:  # pragma: no cover - see _blas_weight_matrix
             x_nchw = np.ascontiguousarray(x.transpose(0, 3, 1, 2))
-            return im2col(
-                self.quantize_input(x_nchw),
-                self.weight_q.shape[2],
-                self.weight_q.shape[3],
-                stride=self.stride,
-                padding=self.padding,
-            ) @ self._lowered_weights()
+            return self._grouped_int_gemm(self.quantize_input(x_nchw))
         if self.in_scale is None:
             raise QuantizationError(f"layer {self.name} is not calibrated")
         q_max = (1 << self.act_bits) - 1
@@ -233,14 +317,23 @@ class QuantizedConv:
         x_q = x / self.in_scale
         np.round(x_q, out=x_q)
         np.clip(x_q, 0, q_max, out=x_q)
-        cols = _im2col_nhwc(
-            x_q.astype(w.dtype),
-            self.weight_q.shape[2],
-            self.weight_q.shape[3],
-            stride=self.stride,
-            padding=self.padding,
-        )
-        return cols @ w
+        x_q = x_q.astype(w_groups[0].dtype)
+        fy, fx = self.weight_q.shape[2], self.weight_q.shape[3]
+        if self.groups == 1:
+            cols = _im2col_nhwc(x_q, fy, fx, stride=self.stride, padding=self.padding)
+            return cols @ w_groups[0]
+        c_g = self.weight_q.shape[1]
+        accs = []
+        for g, w in enumerate(w_groups):
+            cols = _im2col_nhwc(
+                np.ascontiguousarray(x_q[..., g * c_g : (g + 1) * c_g]),
+                fy,
+                fx,
+                stride=self.stride,
+                padding=self.padding,
+            )
+            accs.append(cols @ w)
+        return np.concatenate(accs, axis=1)
 
     def accumulate_exact(self, x: np.ndarray) -> np.ndarray:
         """:meth:`accumulate_nhwc` for a channels-first ``(N, C, H, W)`` input."""
@@ -269,8 +362,22 @@ class QuantizedConv:
 
     def _forward_calibrate(self, x: np.ndarray) -> np.ndarray:
         self._observed_max = max(self._observed_max, float(x.max(initial=0.0)))
-        out, _ = F.conv2d_forward(x, self.weight_float, self.bias, self.stride, self.padding)
-        return out
+        if self.groups == 1:
+            out, _ = F.conv2d_forward(x, self.weight_float, self.bias, self.stride, self.padding)
+            return out
+        c_g = self.weight_float.shape[1]
+        k_g = self.weight_float.shape[0] // self.groups
+        outs = []
+        for g in range(self.groups):
+            out_g, _ = F.conv2d_forward(
+                x[:, g * c_g : (g + 1) * c_g],
+                self.weight_float[g * k_g : (g + 1) * k_g],
+                self.bias[g * k_g : (g + 1) * k_g],
+                self.stride,
+                self.padding,
+            )
+            outs.append(out_g)
+        return np.concatenate(outs, axis=1)
 
     def finalize_calibration(self) -> None:
         """Fix the activation scale from the observed calibration range."""
@@ -287,14 +394,31 @@ class QuantizedConv:
         q_max = (1 << self.act_bits) - 1
         return np.clip(np.round(x / self.in_scale), 0, q_max).astype(np.int64)
 
-    def _forward_quantized(self, x: np.ndarray) -> np.ndarray:
-        n, _, h, w = x.shape
+    def _grouped_int_gemm(self, x_q: np.ndarray) -> np.ndarray:
+        """Reference int64 accumulators ``(N*OH*OW, K)`` from a quantized input.
+
+        One dense im2col (channels are contiguous per group, so each
+        group's operands are a column slice) followed by one GEMM per
+        group; the single-group case is the plain lowered GEMM.
+        """
         _, _, fy, fx = self.weight_q.shape
-        x_q = self.quantize_input(x)
         cols = im2col(x_q, fy, fx, stride=self.stride, padding=self.padding)
         if self.record:
             self.recorded_cols = cols
-        acc = cols @ self._lowered_weights()  # (N*OH*OW, K) int64
+        lowered = self._lowered_weights()
+        if self.groups == 1:
+            return cols @ lowered[0]  # (N*OH*OW, K) int64
+        return np.concatenate(
+            [
+                cols[:, start:stop] @ w
+                for (start, stop), w in zip(self.group_col_spans(), lowered)
+            ],
+            axis=1,
+        )
+
+    def _forward_quantized(self, x: np.ndarray) -> np.ndarray:
+        n, _, h, w = x.shape
+        acc = self._grouped_int_gemm(self.quantize_input(x))
         if self.injector is not None:
             acc = self.injector(acc, self)
         return self.epilogue(acc, n, h, w)
@@ -303,12 +427,12 @@ class QuantizedConv:
 class _QBlock:
     """Quantized ResNet basic block (inference only)."""
 
-    def __init__(self, block: BasicBlock) -> None:
-        self.qconv1 = _fold_to_qconv(block.conv1, block.bn1)
-        self.qconv2 = _fold_to_qconv(block.conv2, block.bn2)
+    def __init__(self, block: BasicBlock, bits_fn: Callable[[str], int] = lambda name: 8) -> None:
+        self.qconv1 = _fold_to_qconv(block.conv1, block.bn1, bits_fn(block.conv1.name))
+        self.qconv2 = _fold_to_qconv(block.conv2, block.bn2, bits_fn(block.conv2.name))
         if block.shortcut_conv is not None:
             self.qshortcut: Optional[QuantizedConv] = _fold_to_qconv(
-                block.shortcut_conv, block.shortcut_bn
+                block.shortcut_conv, block.shortcut_bn, bits_fn(block.shortcut_conv.name)
             )
         else:
             self.qshortcut = None
@@ -328,10 +452,68 @@ class _QBlock:
         return convs
 
 
-def _fold_to_qconv(conv: Conv2d, bn: Optional[BatchNorm2d]) -> QuantizedConv:
+def _fold_to_qconv(conv: Conv2d, bn: Optional[BatchNorm2d], n_bits: int = 8) -> QuantizedConv:
     weight, bias = fold_batchnorm(conv, bn)
     return QuantizedConv(
-        name=conv.name, weight=weight, bias=bias, stride=conv.stride, padding=conv.padding
+        name=conv.name,
+        weight=weight,
+        bias=bias,
+        stride=conv.stride,
+        padding=conv.padding,
+        act_bits=n_bits,
+        weight_bits=n_bits,
+        groups=conv.groups,
+    )
+
+
+class _FlattenToConv(Module):
+    """Head adapter: ``(N, C, H, W) -> (N, C*H*W, 1, 1)``.
+
+    Replaces a head ``Flatten`` so the following lowered ``Linear`` (a
+    1x1 :class:`QuantizedConv`) reads the flattened features as its input
+    channels.  The channel order matches ``Flatten`` exactly (``C``
+    outermost), so the conv weights are the Linear weights verbatim.
+    """
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x.reshape(x.shape[0], -1, 1, 1)
+
+
+class _PoolToConv(Module):
+    """Head adapter: global average pooling kept in the conv layout.
+
+    ``(N, C, H, W) -> (N, C, 1, 1)``, numerically the standard
+    ``GlobalAvgPool`` but without dropping the spatial axes the lowered
+    classifier conv consumes.
+    """
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x.mean(axis=(2, 3), keepdims=True)
+
+
+def _linear_to_qconv(linear: Linear, n_bits: int = 8) -> QuantizedConv:
+    """Lower a classifier ``Linear`` to a 1x1 :class:`QuantizedConv`.
+
+    ``Linear`` computes ``x @ W + b`` with ``W`` of shape
+    ``(in_features, out_features)``; the equivalent convolution has
+    weights ``(out_features, in_features, 1, 1) = W.T`` applied to the
+    ``(N, in_features, 1, 1)`` adapter output.  With this lowering the
+    classifier head shares the integer MAC datapath — its accumulators
+    are visible to TER simulation and to the fault injector like any
+    conv layer's.
+    """
+    in_features, out_features = linear.weight.data.shape
+    weight = np.ascontiguousarray(linear.weight.data.T).reshape(
+        out_features, in_features, 1, 1
+    )
+    return QuantizedConv(
+        name=linear.name,
+        weight=weight,
+        bias=linear.bias.data.copy(),
+        stride=1,
+        padding=0,
+        act_bits=n_bits,
+        weight_bits=n_bits,
     )
 
 
@@ -437,17 +619,42 @@ class FaultFreePass:
 class QuantizedNetwork:
     """Integer-inference version of a trained :class:`ClassifierNetwork`.
 
-    Construction folds/quantizes every convolution; call
-    :meth:`calibrate` with a representative batch before inference.
+    Construction folds/quantizes every convolution *and* lowers the
+    classifier head's ``Linear`` layers to 1x1 quantized convolutions, so
+    the whole network — head included — runs on the integer MAC datapath
+    under study.  Call :meth:`calibrate` with a representative batch
+    before inference.
+
+    ``bits_per_layer`` maps layer names to their quantization bit width
+    (applied to both the symmetric weight quantizer and the unsigned
+    activation quantizer); layers not listed use ``default_bits``.  This
+    is the mixed-precision axis of the scenario registry
+    (:mod:`repro.scenarios`).
     """
 
-    def __init__(self, model: ClassifierNetwork) -> None:
+    def __init__(
+        self,
+        model: ClassifierNetwork,
+        bits_per_layer: Optional[Dict[str, int]] = None,
+        default_bits: int = 8,
+    ) -> None:
         model.eval()
         self.name = model.name
+        self.bits_per_layer = {str(k): int(v) for k, v in (bits_per_layer or {}).items()}
+        self.default_bits = int(default_bits)
+        if not 2 <= self.default_bits <= 16:
+            raise QuantizationError(f"default_bits {default_bits} outside [2, 16]")
+        for name, bits in self.bits_per_layer.items():
+            if not 2 <= bits <= 16:
+                raise QuantizationError(f"layer {name}: n_bits {bits} outside [2, 16]")
         self._ops: List[object] = []
         self._build(model.features)
-        self.head = model.head  # float classifier
+        self._build_head(model.head)
         self._calibrated = False
+
+    def layer_bits(self, name: str) -> int:
+        """The quantization bit width of layer ``name``."""
+        return self.bits_per_layer.get(name, self.default_bits)
 
     # ------------------------------------------------------------------ #
     def _build(self, features: Sequential) -> None:
@@ -460,14 +667,36 @@ class QuantizedNetwork:
                 if i + 1 < len(layers) and isinstance(layers[i + 1], BatchNorm2d):
                     bn = layers[i + 1]
                     i += 1
-                self._ops.append(_fold_to_qconv(layer, bn))
+                self._ops.append(_fold_to_qconv(layer, bn, self.layer_bits(layer.name)))
             elif isinstance(layer, BasicBlock):
-                self._ops.append(_QBlock(layer))
+                self._ops.append(_QBlock(layer, self.layer_bits))
             elif isinstance(layer, BatchNorm2d):
                 raise QuantizationError("unfused BatchNorm without preceding conv")
             else:
                 self._ops.append(layer)  # ReLU / pooling / etc. run in float
             i += 1
+
+    def _build_head(self, head: Sequential) -> None:
+        """Lower the classifier head onto the integer datapath.
+
+        ``Flatten`` / ``GlobalAvgPool`` become shape adapters and every
+        ``Linear`` becomes a 1x1 :class:`QuantizedConv`, so the head is
+        covered by operand recording, TER simulation and fault injection
+        exactly like the feature layers (the seed repro's float-head
+        special case — which the MSB pass and the layer studies had to
+        skip around — is gone).
+        """
+        for layer in head:
+            if isinstance(layer, Flatten):
+                self._ops.append(_FlattenToConv())
+            elif isinstance(layer, GlobalAvgPool):
+                self._ops.append(_PoolToConv())
+            elif isinstance(layer, Linear):
+                self._ops.append(_linear_to_qconv(layer, self.layer_bits(layer.name)))
+            elif isinstance(layer, ReLU):
+                self._ops.append(layer)
+            else:
+                raise QuantizationError(f"cannot lower head layer {layer!r}")
 
     # ------------------------------------------------------------------ #
     def qconvs(self, include_shortcuts: bool = False) -> List[QuantizedConv]:
@@ -497,16 +726,18 @@ class QuantizedNetwork:
         return x
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        """Full inference: quantized features, float head."""
-        return self.head.forward(self.forward_features(x))
+        """Full inference: the whole lowered pipeline, logits ``(N, classes)``."""
+        out = self.forward_features(x)
+        return out.reshape(out.shape[0], -1)
 
     __call__ = forward
 
     def forward_features(self, x: np.ndarray) -> np.ndarray:
-        """The quantized feature extractor alone (no classifier head).
+        """The lowered op pipeline, head included, in the conv layout.
 
-        What the injector hooks actually observe — measurement passes
-        that only need the conv accumulators use this to skip the head.
+        Returns the final ``(N, classes, 1, 1)`` tensor; :meth:`forward`
+        flattens it to logits.  Every injector hook — the classifier
+        head's included — fires along the way.
         """
         if not self._calibrated:
             raise QuantizationError("call calibrate(batch) before inference")
@@ -708,8 +939,11 @@ class QuantizedNetwork:
         work served from ``prefix``; from the fork on, every layer runs
         as a single ``(T*N, ...)`` exact channels-last BLAS GEMM with
         per-trial flips applied to the full-layer accumulator tensor.
-        Returns features shaped ``(T*N, C, H, W)`` in trial-major order,
-        bit-identical to T independent serial forwards.
+        The lowered classifier head is part of the walk, so campaigns
+        that inject into it fork there like anywhere else.  Returns the
+        final pipeline tensors shaped ``(T*N, classes, 1, 1)`` in
+        trial-major order, bit-identical to T independent serial
+        forwards.
         """
         if not self._calibrated:
             raise QuantizationError("call calibrate(batch) before inference")
@@ -762,20 +996,21 @@ class QuantizedNetwork:
     ) -> List[float]:
         """Per-trial top-k accuracies from one stacked forward pass.
 
-        The float classifier head is evaluated per trial in chunks of
-        ``batch_size`` — exactly the shapes the serial
-        :meth:`evaluate` loop produces — so the returned accuracies are
-        bit-identical to running each trial through ``evaluate`` with
-        the same batch size.
+        The stacked walk covers the whole lowered pipeline (classifier
+        head included), so scoring is one flatten + top-k per trial.
+        Accuracies are bit-identical to running each trial through
+        :meth:`evaluate` at any batch size: every per-sample logit is an
+        exactly-dequantized integer accumulator, unaffected by chunking.
         """
         features = self.forward_trials(x, injectors, prefix=prefix)
         n = x.shape[0]
-        per_trial = features.reshape((len(injectors), n) + features.shape[1:])
+        logits = features.reshape(len(injectors), n, -1)
         accuracies: List[float] = []
         for t in range(len(injectors)):
             correct = 0
             for start in range(0, n, batch_size):
-                logits = self.head.forward(per_trial[t, start : start + batch_size])
-                correct += F.topk_correct(logits, y[start : start + batch_size], topk)
+                correct += F.topk_correct(
+                    logits[t, start : start + batch_size], y[start : start + batch_size], topk
+                )
             accuracies.append(correct / n)
         return accuracies

@@ -9,6 +9,8 @@ scales, corner subsets and chunk/tile geometries — its reports must be
   integer-valued statistic, and
 * within 1e-9 on the float statistics (TER, sign-flip rate, mean chain
   length), float summation order being the only permitted freedom.
+  The two histogram backends (``fast``/``vector``) additionally agree
+  on TER *bit-for-bit* (they reduce identical delay histograms).
 
 By default every registered backend except ``reference`` is screened;
 ``pytest tests/test_backend_conformance.py --backend vector`` (the
@@ -17,12 +19,23 @@ that is how the CI conformance job runs one matrix leg per backend.
 
 The reference result of each case is computed once per session and
 shared across candidate backends.
+
+On top of the fixed case catalog, a hypothesis-driven harness draws
+random :mod:`repro.scenarios`-shaped cells of the opened workload space
+— grouped/depthwise layers (one job per group GEMM), the classifier
+head lowered to a 1x1 conv, per-layer mixed-precision operand widths —
+and asserts, per drawn scenario, (a) the three backends' conformance on
+every group job *and* on the cycle-weighted layer aggregate, and (b)
+bit-identical per-trial accuracies from the serial and trial-batched
+injection runtimes on a quantized network built from the same draw.
 """
 
 import warnings
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
 
 from repro.arch import AcceleratorConfig, Dataflow
 from repro.core import MappingStrategy
@@ -215,3 +228,201 @@ def test_backend_option_validates_names(pytestconfig):
     requested = pytestconfig.getoption("--backend")
     if requested:
         assert set(requested) <= set(backend_names())
+
+
+# ---------------------------------------------------------------------- #
+# Hypothesis-driven scenario conformance
+# ---------------------------------------------------------------------- #
+#: Deterministic, CI-friendly settings: derandomized draws, no deadline
+#: (simulation wall-clock varies with the drawn shapes), no example DB.
+SCENARIO_SETTINGS = settings(
+    max_examples=12, deadline=None, derandomize=True, database=None
+)
+
+#: Corners every drawn scenario simulates (one stressed + ideal keeps
+#: each draw cheap while covering the zero-TER edge case).
+SCENARIO_CORNERS = (TER_EVAL_CORNER, IDEAL)
+
+
+@pytest.fixture(scope="module")
+def scenario_leg(pytestconfig):
+    """Run the scenario harness on one CI matrix leg only.
+
+    The hypothesis tests below always exercise all three backends (or,
+    for the runtime test, none), so re-running them on every
+    ``--backend`` leg would duplicate identical derandomized work.  They
+    ride the ``vector`` leg; an unrestricted local run keeps them too.
+    """
+    requested = pytestconfig.getoption("--backend")
+    if requested and "vector" not in requested:
+        pytest.skip("scenario harness runs on the vector conformance leg only")
+
+
+@hst.composite
+def layer_scenarios(draw):
+    """One drawn layer cell: grouping x precision x mapping x dataflow.
+
+    Mirrors the axes of :class:`repro.scenarios.Scenario` at the layer
+    level — a grouped layer is ``groups`` independent group GEMMs, the
+    ``head`` flag shapes the draw like a lowered classifier ``Linear``
+    (1x1 kernel, one GEMM row per image), and ``n_bits`` narrows both
+    operand ranges the way mixed-precision quantization does.
+    """
+    head = draw(hst.booleans())
+    groups = 1 if head else draw(hst.sampled_from([1, 2, 4]))
+    c_per_group = draw(hst.integers(1, 6 if groups == 1 else 3))
+    k_per_group = draw(hst.integers(1, 3))
+    kernel = 1 if head else draw(hst.sampled_from([1, 3]))
+    return {
+        "head": head,
+        "groups": groups,
+        "c_eff": c_per_group * kernel * kernel,
+        "k_per_group": k_per_group,
+        "act_bits": draw(hst.sampled_from([4, 6, 8])),
+        "weight_bits": draw(hst.sampled_from([2, 4, 8])),
+        "strategy": draw(hst.sampled_from(list(MappingStrategy))),
+        "dataflow": draw(hst.sampled_from(list(Dataflow))),
+        "group_size": draw(hst.integers(1, 4)),
+        "pixel_chunk": draw(hst.integers(1, 5)),
+        "n_pixels": 1 if head else draw(hst.integers(1, 8)),
+        "seed": draw(hst.integers(0, 2**31 - 1)),
+    }
+
+
+def _scenario_group_jobs(cell):
+    """Materialize one SimJob per group GEMM of a drawn layer cell."""
+    rng = np.random.default_rng(cell["seed"])
+    config = AcceleratorConfig(dataflow=cell["dataflow"])
+    jobs = []
+    for _ in range(cell["groups"]):
+        acts = rng.integers(0, 1 << cell["act_bits"], size=(cell["n_pixels"], cell["c_eff"]))
+        q_max = 1 << (cell["weight_bits"] - 1)
+        weights = rng.integers(-q_max, q_max, size=(cell["c_eff"], cell["k_per_group"]))
+        jobs.append(
+            SimJob(
+                acts=acts,
+                weights=weights,
+                corners=SCENARIO_CORNERS,
+                group_size=cell["group_size"],
+                strategy=cell["strategy"],
+                config=config,
+                pixel_chunk=cell["pixel_chunk"],
+            )
+        )
+    return jobs
+
+
+@SCENARIO_SETTINGS
+@given(cell=layer_scenarios())
+def test_scenario_conformance_across_backends(scenario_leg, cell):
+    """Per drawn scenario: all three backends agree on every group GEMM.
+
+    ``reference`` within the 1e-9 float contract, ``fast``/``vector``
+    TERs bit-for-bit — on each group job *and* on the cycle-weighted
+    layer aggregate (the number the per-layer reports print).
+    """
+    from repro.experiments.common import aggregate_group_reports
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", MappingFallbackWarning)
+        per_backend = {}
+        for backend in ("reference", "fast", "vector"):
+            per_backend[backend] = [
+                get_backend(backend).run(job) for job in _scenario_group_jobs(cell)
+            ]
+    for candidate in ("fast", "vector"):
+        for ref, got in zip(per_backend["reference"], per_backend[candidate]):
+            assert_conformant(ref, got, candidate)
+    aggregates = {
+        backend: aggregate_group_reports("layer", cell["strategy"], reports)
+        for backend, reports in per_backend.items()
+    }
+    for corner in SCENARIO_CORNERS:
+        fast_ter = aggregates["fast"].ter_by_corner[corner.name]
+        vector_ter = aggregates["vector"].ter_by_corner[corner.name]
+        # Identical histograms, identical weighted reduction: bit-equal.
+        assert fast_ter == vector_ter, (corner.name, fast_ter, vector_ter)
+        assert abs(aggregates["reference"].ter_by_corner[corner.name] - fast_ter) <= TOL
+    for fast_r, vector_r in zip(per_backend["fast"], per_backend["vector"]):
+        for corner_name in fast_r:
+            assert fast_r[corner_name].ter == vector_r[corner_name].ter
+
+
+@hst.composite
+def network_scenarios(draw):
+    """A drawn tiny network: depthwise block x mixed bits x injected set."""
+    c1 = draw(hst.sampled_from([4, 6]))
+    c2 = draw(hst.sampled_from([4, 8]))
+    depthwise = draw(hst.booleans())
+    bits = {
+        "conv0": draw(hst.sampled_from([6, 8])),
+        "mid": draw(hst.sampled_from([4, 8])),
+        "fc": draw(hst.sampled_from([6, 8])),
+    }
+    inject = draw(
+        hst.sets(hst.sampled_from(["conv0", "mid", "pw", "fc"]), min_size=1)
+    )
+    return {
+        "c1": c1,
+        "c2": c2,
+        "depthwise": depthwise,
+        "bits": bits,
+        "inject": sorted(inject),
+        "seed": draw(hst.integers(0, 2**31 - 1)),
+        "batch_size": draw(hst.sampled_from([3, 5, 16])),
+    }
+
+
+def _build_scenario_network(cell):
+    from repro.nn.layers import Conv2d, GlobalAvgPool, Linear, ReLU, Sequential
+    from repro.nn.models import ClassifierNetwork
+    from repro.nn.quantize import QuantizedNetwork
+
+    rng = np.random.default_rng(cell["seed"])
+    c1, c2 = cell["c1"], cell["c2"]
+    features = Sequential(
+        [
+            Conv2d(3, c1, 3, padding=1, rng=rng, name="conv0"),
+            ReLU(),
+            Conv2d(
+                c1, c1, 3, padding=1,
+                groups=c1 if cell["depthwise"] else 1, rng=rng, name="mid",
+            ),
+            ReLU(),
+            Conv2d(c1, c2, 1, rng=rng, name="pw"),
+            ReLU(),
+        ]
+    )
+    head = Sequential([GlobalAvgPool(), Linear(c2, 4, rng=rng, name="fc")])
+    model = ClassifierNetwork("hyp", features, head)
+    qnet = QuantizedNetwork(model, bits_per_layer=cell["bits"])
+    x = rng.random((12, 3, 10, 10))
+    y = rng.integers(0, 4, size=12)
+    qnet.calibrate(x[:6])
+    return qnet, x, y
+
+
+@SCENARIO_SETTINGS
+@given(cell=network_scenarios())
+def test_scenario_injection_runtimes_bit_identical(scenario_leg, cell):
+    """Per drawn scenario: serial and batched runtimes agree bit-for-bit.
+
+    The network realizes the draw's axes (depthwise mid layer, head as
+    1x1 conv, per-layer bits) and the campaign injects into the drawn
+    layer subset — including head-only campaigns, which the seed repro
+    could not express at all.
+    """
+    from repro.faults.injection_job import run_injection_trials
+
+    qnet, x, y = _build_scenario_network(cell)
+    bers = {name: 0.02 for name in cell["inject"]}
+    serial = run_injection_trials(
+        qnet, x, y, bers, n_trials=2, base_seed=cell["seed"] % 1000,
+        runtime="serial", batch_size=cell["batch_size"],
+    )
+    batched = run_injection_trials(
+        qnet, x, y, bers, n_trials=2, base_seed=cell["seed"] % 1000,
+        runtime="batched", batch_size=cell["batch_size"],
+    )
+    assert serial.trial_accuracies == batched.trial_accuracies
+    assert serial.flips_injected == batched.flips_injected

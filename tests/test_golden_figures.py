@@ -26,6 +26,7 @@ import pytest
 from repro.engine import SimEngine, engine_context
 from repro.experiments import fig2, fig7, fig10, fig11, table1
 from repro.experiments.common import get_scale
+from repro.experiments.sweep import run_suite
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
@@ -165,6 +166,52 @@ def test_golden_fig11_micro(update_golden, golden_engine):
         "grids": [_grid_payload(g) for g in result.grids],
     }
     check_golden("fig11_micro", payload, update_golden)
+
+
+def _suite_payload(result):
+    """Full TER/accuracy grids of one suite (the scenario-matrix pin)."""
+    return {
+        "suite": result.suite,
+        "scale": result.scale,
+        "scenarios": [
+            {
+                "name": rep.scenario.name,
+                "recipe": rep.scenario.recipe,
+                "default_bits": rep.scenario.default_bits,
+                "bits": [list(pair) for pair in rep.bits],
+                "quant_accuracy": rep.quant_accuracy,
+                "layers": {
+                    strategy: [
+                        {
+                            "layer": r.layer,
+                            "groups": r.groups,
+                            "n_macs": r.n_macs_per_output,
+                            "sign_flip_rate": r.sign_flip_rate,
+                            "ter_by_corner": r.ter_by_corner,
+                        }
+                        for r in records
+                    ]
+                    for strategy, records in rep.records.items()
+                },
+                "injected_accuracy": rep.injected_accuracy,
+            }
+            for rep in result.reports
+        ],
+    }
+
+
+def test_golden_mobile_micro(update_golden, golden_engine):
+    """Pins the mobile suite: depthwise/pointwise per-group TERs + the
+    lowered classifier head, through Eq.1 to injected accuracies."""
+    result = run_suite("mobile", get_scale(SCALE), engine=golden_engine)
+    check_golden("mobile_micro", _suite_payload(result), update_golden)
+
+
+def test_golden_mixed_micro(update_golden, golden_engine):
+    """Pins the mixed-precision suite (per-layer bit widths feed both the
+    quantizers and the injection-job cache keys)."""
+    result = run_suite("mixed-precision", get_scale(SCALE), engine=golden_engine)
+    check_golden("mixed_micro", _suite_payload(result), update_golden)
 
 
 def test_golden_table1(update_golden):

@@ -199,11 +199,11 @@ class TestExactBlasGemm:
 
     def test_dtype_follows_accumulator_bound(self, vgg):
         for qc in vgg.qnet.qconvs():
-            w = qc._blas_weight_matrix()
             bound = qc.acc_bound()
             assert bound < (1 << 53)
             expected = np.float32 if bound < (1 << 24) else np.float64
-            assert w.dtype == expected
+            for w in qc._blas_weight_matrix():
+                assert w.dtype == expected
 
     def test_fault_free_pass_serves_frozen_arrays(self, vgg):
         prefix = vgg.qnet.fault_free_pass(vgg.x_test[:8])

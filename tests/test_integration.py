@@ -35,8 +35,9 @@ def ter_records(bundle):
 
 class TestTerPipeline:
     def test_all_layers_measured(self, bundle, ter_records):
+        # 13 feature convs + the lowered classifier head
         for strategy in ("baseline", "reorder", "cluster_then_reorder"):
-            assert len(ter_records[strategy]) == 13
+            assert len(ter_records[strategy]) == 14
 
     def test_reorder_improves_every_layer(self, ter_records):
         base = ters_for_corner(ter_records, MappingStrategy.BASELINE, AGING_VT_5.name)

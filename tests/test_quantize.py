@@ -97,7 +97,9 @@ class TestQuantizedNetwork:
     def test_qconv_count_matches_model(self, trained_setup):
         model, x, _ = trained_setup
         qnet = QuantizedNetwork(model)
-        assert len(qnet.qconvs()) == len(model.conv_layers())
+        # every main-path conv plus the classifier head lowered to a 1x1 conv
+        assert len(qnet.qconvs()) == len(model.conv_layers()) + 1
+        assert qnet.qconvs()[-1].name == "fc"
 
     def test_lowered_weight_matrix_shape(self, trained_setup):
         model, x, _ = trained_setup
