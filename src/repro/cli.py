@@ -30,7 +30,13 @@ import time
 from typing import List, Optional
 
 from .engine import backend_names, configure_default_engine
-from .experiments import RUNNERS, SCALES, get_scale, run_all
+from .experiments import MODEL_RECIPES, RUNNERS, SCALES, get_scale, run_all
+from .experiments.campaign import (
+    DEFAULT_CI_WIDTH,
+    DEFAULT_SHARD_TRIALS,
+    render as render_campaign,
+    run_campaign,
+)
 from .experiments.orchestrator import SCALELESS
 from .experiments.sweep import render as render_suite
 from .experiments.sweep import run_suite
@@ -149,6 +155,86 @@ def build_parser() -> argparse.ArgumentParser:
     _scale_flag(sweep_parser)
     _engine_flags(sweep_parser)
 
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="sharded, resumable, statistically-stopped injection campaign",
+        description=(
+            "Run one accuracy-under-injection campaign with a per-cell trial "
+            "budget, sharded into content-addressed sub-jobs with sequential "
+            "early stopping: a (strategy x corner) cell stops as soon as its "
+            "Wilson interval separates from the fault-free baseline or shrinks "
+            "to --ci-width.  A killed campaign resumes from the result cache "
+            "(completed shards are warm hits); the manifest is deterministic "
+            "modulo its 'run' block."
+        ),
+        epilog=(
+            "example: read-repro campaign --recipe vgg16_cifar10 --scale micro "
+            "--max-trials 64 --ci-width 0.05 --jobs 4"
+        ),
+    )
+    campaign_parser.add_argument(
+        "--recipe",
+        choices=sorted(MODEL_RECIPES),
+        required=True,
+        help="model/dataset combination to campaign on",
+    )
+    campaign_parser.add_argument(
+        "--max-trials",
+        type=_positive_int,
+        default=64,
+        metavar="N",
+        help="per-cell trial budget (default: 64)",
+    )
+    campaign_parser.add_argument(
+        "--ci-width",
+        type=float,
+        default=DEFAULT_CI_WIDTH,
+        metavar="W",
+        help=f"target Wilson-interval width for the converged stop (default: {DEFAULT_CI_WIDTH})",
+    )
+    campaign_parser.add_argument(
+        "--shard-trials",
+        type=_positive_int,
+        default=DEFAULT_SHARD_TRIALS,
+        metavar="N",
+        help=f"trials per shard, the cancellation granularity (default: {DEFAULT_SHARD_TRIALS})",
+    )
+    campaign_parser.add_argument(
+        "--topk",
+        type=_positive_int,
+        default=1,
+        metavar="K",
+        help="top-k evaluation protocol (default: 1)",
+    )
+    campaign_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "record this invocation as a resume (completed shards are warm "
+            "cache hits either way — resume IS the cache)"
+        ),
+    )
+    campaign_parser.add_argument(
+        "--max-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N shard results (deterministic mid-flight kill, for tests)",
+    )
+    campaign_parser.add_argument(
+        "--no-early-stop",
+        action="store_true",
+        help="run every cell to its full budget (no sequential stopping)",
+    )
+    campaign_parser.add_argument(
+        "--artifacts",
+        default=None,
+        metavar="DIR",
+        help="artifacts directory (default: artifacts/campaigns/<recipe>-<scale>/)",
+    )
+    _scale_flag(campaign_parser)
+    _engine_flags(campaign_parser)
+
     for name in sorted(RUNNERS):
         sub = subparsers.add_parser(
             name,
@@ -205,6 +291,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_suite(result))
         print(f"--- sweep:{args.suite} done in {time.time() - start:.1f}s\n")
         _print_engine_summary(engine)
+        return 0
+    if args.experiment == "campaign":
+        scale = get_scale(args.scale)
+        start = time.time()
+        result = run_campaign(
+            args.recipe,
+            scale=scale,
+            max_trials=args.max_trials,
+            ci_width=args.ci_width,
+            shard_trials=args.shard_trials,
+            topk=args.topk,
+            engine=engine,
+            artifacts_dir=args.artifacts,
+            resume=args.resume,
+            max_shards=args.max_shards,
+            early_stop=not args.no_early_stop,
+        )
+        print(f"=== campaign:{args.recipe} " + "=" * max(0, 48 - len(args.recipe)))
+        print(render_campaign(result))
+        print(f"--- campaign done in {time.time() - start:.1f}s\n")
+        _print_engine_summary(engine)
+        print(f"manifest: {result.manifest_path}")
         return 0
     if args.experiment == "all":
         scale = get_scale(args.scale)

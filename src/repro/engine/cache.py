@@ -10,7 +10,10 @@ for :class:`~repro.engine.job.SimJob`).
 The cache itself is kind-agnostic: each job class supplies its own
 ``serialize_result`` / ``deserialize_result`` pair, and entries carry a
 ``__kind__`` tag so a key collision across job kinds (or a stale entry
-from an older layout) deserializes as a miss, never as garbage.
+from an older layout) deserializes as a miss, never as garbage.  Payloads
+are columnar by convention — packed numpy arrays, never per-item JSON —
+which is what lets a 10^5-trial injection shard round-trip as a few
+kilobytes (``InjectionResult``'s v4 per-trial count columns).
 
 Properties the test suite relies on:
 
@@ -57,6 +60,15 @@ class ResultCache:
     def path_for(self, key: str) -> Path:
         """Cache-entry path for a job key (two-level fan-out by prefix)."""
         return self.root / key[:2] / f"{key}.npz"
+
+    def has(self, key: str) -> bool:
+        """Cheap existence probe (no deserialization, no validation).
+
+        The campaign planner uses this to report how many shards a
+        resume will recall without paying a full ``load`` per probe; an
+        unreadable entry still resolves as a miss at ``load`` time.
+        """
+        return self.path_for(key).exists()
 
     def load(self, key: str, job: EngineJob):
         """Return the cached result for ``key``, or None on a miss.

@@ -28,7 +28,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..errors import ConfigurationError, MappingFallbackWarning
 from .backends import SimulationBackend, backend_factory, get_backend
@@ -63,19 +63,30 @@ class EngineStats:
     hits: int = 0
     misses: int = 0
     deduped: int = 0
+    #: Jobs cancelled before they ever executed (:meth:`SimEngine.run_stream`
+    #: early stopping); they are not hits, misses or dedups.
+    cancelled: int = 0
 
     @property
     def total(self) -> int:
-        return self.hits + self.misses + self.deduped
+        return self.hits + self.misses + self.deduped + self.cancelled
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.total} job(s): {self.hits} cache hit(s), "
             f"{self.deduped} deduplicated, {self.misses} simulated"
         )
+        if self.cancelled:
+            text += f", {self.cancelled} cancelled"
+        return text
 
     def snapshot(self) -> "EngineStats":
-        return EngineStats(hits=self.hits, misses=self.misses, deduped=self.deduped)
+        return EngineStats(
+            hits=self.hits,
+            misses=self.misses,
+            deduped=self.deduped,
+            cancelled=self.cancelled,
+        )
 
     def since(self, earlier: "EngineStats") -> "EngineStats":
         """Counter deltas accumulated after ``earlier`` was snapshotted."""
@@ -83,6 +94,7 @@ class EngineStats:
             hits=self.hits - earlier.hits,
             misses=self.misses - earlier.misses,
             deduped=self.deduped - earlier.deduped,
+            cancelled=self.cancelled - earlier.cancelled,
         )
 
 
@@ -235,6 +247,111 @@ class SimEngine:
             results[i] = results[source]
             self.stats.deduped += 1
         return results  # type: ignore[return-value]
+
+    def run_stream(
+        self,
+        jobs: Sequence[EngineJob],
+        on_result: Optional[Callable[[int, object], Optional[Iterable[int]]]] = None,
+    ) -> List[Optional[object]]:
+        """Execute a batch, streaming each result as it lands.
+
+        The campaign runner's entry point: ``on_result(index, result)``
+        is invoked once per completed job and may return job indices to
+        **cancel** — the cooperative early-stopping hook.  Cancellation
+        is best-effort and only ever prevents work that has not started:
+        inline, upcoming jobs are skipped; on the pool, not-yet-started
+        futures are withdrawn (a job already running completes, and its
+        result is still delivered and cached — early stopping saves
+        work, it never discards finished work).
+
+        Differences from :meth:`run_many`:
+
+        * Cache hits are delivered first, in submission order — they are
+          free, so they are never cancelled, and give a stopping rule
+          its head start on resume.
+        * No within-batch deduplication: stream callers (campaign
+          shards) construct distinct-key jobs by design.
+        * The returned list holds ``None`` at every cancelled index.
+
+        Pool completion order is nondeterministic; callers needing a
+        deterministic outcome must derive it from result *content* (see
+        the campaign runner's contiguous-prefix rule), not arrival order.
+        """
+        jobs = list(jobs)
+        results: List[Optional[object]] = [None] * len(jobs)
+        done = [False] * len(jobs)
+        cancel_requested: set = set()
+
+        def deliver(i: int, result: object) -> None:
+            results[i] = result
+            done[i] = True
+            if on_result is not None:
+                requested = on_result(i, result)
+                if requested:
+                    for j in requested:
+                        if 0 <= j < len(jobs) and not done[j]:
+                            cancel_requested.add(j)
+
+        keys: List[Optional[str]] = [None] * len(jobs)
+        pending: List[int] = []
+        for i, job in enumerate(jobs):
+            job.check()
+            if self.cache is not None:
+                keys[i] = job.key()
+        for i, job in enumerate(jobs):
+            if keys[i] is not None:
+                cached = self.cache.load(keys[i], job)
+                if cached is not None:
+                    self.stats.hits += 1
+                    deliver(i, cached)
+                    continue
+            pending.append(i)
+
+        factory = backend_factory(self.backend_name)
+        executed: List[int] = []
+
+        def record(i: int, result: object) -> None:
+            executed.append(i)
+            self.stats.misses += 1
+            if self.cache is not None:
+                assert keys[i] is not None
+                self.cache.store(keys[i], jobs[i], result)
+            deliver(i, result)
+
+        if len(pending) > 1 and self.jobs > 1:
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {}
+                for i in pending:
+                    if i in cancel_requested:  # cancelled by a hit delivery
+                        self.stats.cancelled += 1
+                        done[i] = True
+                        continue
+                    futures[pool.submit(_execute_job, factory, jobs[i])] = i
+                for future in as_completed(list(futures)):
+                    i = futures[future]
+                    if future.cancelled():
+                        self.stats.cancelled += 1
+                        done[i] = True
+                        continue
+                    record(i, future.result())
+                    if cancel_requested:
+                        for fut, j in futures.items():
+                            if j in cancel_requested and not fut.done():
+                                fut.cancel()
+        else:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", MappingFallbackWarning)
+                for i in pending:
+                    if i in cancel_requested:
+                        self.stats.cancelled += 1
+                        done[i] = True
+                        continue
+                    record(i, jobs[i].execute(factory))
+
+        if any(jobs[i].kind == "sim" for i in executed):
+            self.used_backends.add(self.backend_name)
+        return results
 
 
 # ---------------------------------------------------------------------- #

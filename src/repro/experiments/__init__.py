@@ -39,17 +39,21 @@ from . import orchestrator  # noqa: E402  (needs RUNNERS above)
 from .orchestrator import OrchestratorResult, run_all  # noqa: E402
 from . import sweep  # noqa: E402  (needs orchestrator above)
 from .sweep import SuiteResult, run_suite  # noqa: E402
+from . import campaign  # noqa: E402  (needs fig10 above)
+from .campaign import CampaignResult, run_campaign  # noqa: E402
 
 __all__ = [
     "ALL_STRATEGIES",
     "MODEL_RECIPES",
     "RUNNERS",
     "SCALES",
+    "CampaignResult",
     "ExperimentScale",
     "LayerTerRecord",
     "OrchestratorResult",
     "SuiteResult",
     "TrainedBundle",
+    "campaign",
     "fig10",
     "fig11",
     "fig2",
@@ -66,6 +70,7 @@ __all__ = [
     "record_operand_streams",
     "render_table",
     "run_all",
+    "run_campaign",
     "run_suite",
     "sweep",
     "table1",

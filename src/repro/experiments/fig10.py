@@ -23,12 +23,17 @@ default to the ``vector`` backend; ``--backend`` overrides).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core import MappingStrategy
 from ..engine import EngineJob, default_engine
-from ..faults import InjectionJob, bers_from_layer_ters, injection_job_for_bundle
+from ..faults import (
+    CellAggregate,
+    InjectionJob,
+    bers_from_layer_ters,
+    injection_job_for_bundle,
+)
 from ..hw.variations import PAPER_CORNERS, PvtaCondition
 from .common import (
     ALL_STRATEGIES,
@@ -57,6 +62,10 @@ class AccuracyGrid:
     mean_ber: Dict[str, List[float]]   # strategy -> mean injected BER per corner
     clean_accuracy: float
     topk: int
+    #: strategy -> per-corner Wilson 95% CI on the pooled (trial, image)
+    #: Bernoulli samples, via the campaign aggregator (schema v4 results;
+    #: empty when assembled from payloads without per-trial counts).
+    ci: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -79,12 +88,15 @@ def injection_jobs_for_grid(
     topk: int = 1,
     only_layers: Optional[Sequence[str]] = None,
     figure: str = "fig10",
+    n_trials: Optional[int] = None,
 ) -> List[InjectionJob]:
     """One :class:`InjectionJob` per (strategy, corner) cell of a grid.
 
     Derives the BER tables from the layer-TER measurement (an engine
     batch itself, so warm runs only touch the cache), in strategy-major
     order matching :func:`measure_accuracy_grid`'s assembly.
+    ``n_trials`` overrides the scale's trial count (the campaign runner
+    passes its ``--max-trials`` budget here).
     """
     bundle = get_bundle(recipe, scale)
     records = measure_layer_ters(
@@ -107,6 +119,7 @@ def injection_jobs_for_grid(
                 injection_job_for_bundle(
                     bundle,
                     bers,
+                    n_trials=n_trials,
                     topk=topk,
                     base_seed=corner_seed(corner),
                     corner=corner.name,
@@ -140,6 +153,7 @@ def measure_accuracy_grid(
 
     accuracy: Dict[str, List[float]] = {s.value: [] for s in strategies}
     mean_ber: Dict[str, List[float]] = {s.value: [] for s in strategies}
+    ci: Dict[str, List[Tuple[float, float]]] = {s.value: [] for s in strategies}
     job_iter = iter(zip(jobs, results))
     for strategy in strategies:
         for _corner in corners:
@@ -149,6 +163,10 @@ def measure_accuracy_grid(
             mean_ber[strategy.value].append(
                 float(sum(table.values()) / len(table)) if table else 0.0
             )
+            # Every cell routes through the campaign aggregator so the
+            # figure carries the same Wilson intervals a sharded campaign
+            # would report for it.
+            ci[strategy.value].append(CellAggregate.from_result(result).wilson_ci())
     return AccuracyGrid(
         recipe=recipe,
         corners=[c.name for c in corners],
@@ -156,6 +174,7 @@ def measure_accuracy_grid(
         mean_ber=mean_ber,
         clean_accuracy=bundle.quant_accuracy,
         topk=topk,
+        ci=ci,
     )
 
 

@@ -38,7 +38,7 @@ import hashlib
 import os
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -58,7 +58,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see execute())
 #: v3: the classifier head is lowered to a quantized 1x1 conv (it now
 #: participates in campaigns and shifts every accuracy), and per-layer
 #: mixed-precision bit widths (``bits`` / ``default_bits``) feed the key.
-INJECTION_SCHEMA_VERSION = 3
+#: v4: columnar trial-level payloads (:class:`InjectionResult` carries
+#: per-trial exact correct counts + the evaluated image count) and the
+#: shard protocol (:class:`InjectionShard`: any ``[trial_lo, trial_hi)``
+#: sub-range of a campaign is independently executable and
+#: content-addressed *without* the campaign's total trial count, so a
+#: larger budget re-uses every shard already computed).
+INJECTION_SCHEMA_VERSION = 4
 
 #: Execution strategies for the repeated trials (see :func:`injection_runtime`).
 INJECTION_RUNTIMES = ("batched", "serial")
@@ -165,17 +171,47 @@ def trial_seed(base_seed: int, trial: int) -> int:
     """Seed of one repeated injection trial (the paper's 5 repetitions).
 
     Pure function of the job spec — never of process or pool state — so
-    trial streams are reproducible across ``--jobs`` settings.
+    trial streams are reproducible across ``--jobs`` settings.  This is
+    also the shard/resume contract: trial ``t`` of a campaign draws the
+    same stream whether it runs in the monolithic job or inside any
+    ``[trial_lo, trial_hi)`` shard covering ``t`` (pinned by a regression
+    test — changing this function invalidates every cached campaign).
     """
     return base_seed + 1000 * trial + 17
 
 
+def _validate_base_seed(base_seed: object) -> int:
+    """Uniform seed-block validation shared by jobs and the trial runner.
+
+    ``bool`` is rejected explicitly (it is an ``int`` subclass but a
+    ``base_seed=True`` is always a bug); the range keeps every derived
+    ``trial_seed`` inside the deterministic 64-bit regime.
+    """
+    if isinstance(base_seed, bool) or not isinstance(base_seed, (int, np.integer)):
+        raise ConfigurationError(
+            f"base_seed must be an integer, got {type(base_seed).__name__}"
+        )
+    seed = int(base_seed)
+    if not 0 <= seed < 2**32:
+        raise ConfigurationError(f"base_seed {seed} outside [0, 2**32)")
+    return seed
+
+
 @dataclass(frozen=True)
 class InjectionResult:
-    """Per-trial accuracies of one campaign (the cacheable payload)."""
+    """Per-trial results of one campaign or shard (the cacheable payload).
+
+    Columnar since schema v4: alongside the float accuracies it carries
+    the *exact* per-trial correct counts and the evaluated image count —
+    the integer domain in which shard summaries merge bit-identically
+    (see :mod:`repro.faults.aggregate`).  Every accuracy is the exact
+    ratio ``correct / n_images``.
+    """
 
     trial_accuracies: Tuple[float, ...]
     flips_injected: int = 0
+    trial_correct: Tuple[int, ...] = ()
+    n_images: int = 0
 
     @property
     def mean_accuracy(self) -> float:
@@ -184,6 +220,48 @@ class InjectionResult:
     @property
     def std_accuracy(self) -> float:
         return float(np.std(self.trial_accuracies))
+
+
+def _with_counts(
+    accuracies: Sequence[float], flips: int, n_images: int
+) -> InjectionResult:
+    """Package trial accuracies plus their exact integer counts.
+
+    ``evaluate``/``evaluate_trials`` return exact count ratios, so
+    rounding ``accuracy * n_images`` recovers the integer correct count
+    bit-exactly (float64 has ample headroom at any supported
+    ``inject_n``).
+    """
+    counts = tuple(int(round(a * n_images)) for a in accuracies)
+    return InjectionResult(
+        trial_accuracies=tuple(accuracies),
+        flips_injected=flips,
+        trial_correct=counts,
+        n_images=n_images,
+    )
+
+
+def merge_results(results: Sequence[InjectionResult]) -> InjectionResult:
+    """Concatenate shard results back into one campaign result.
+
+    Callers pass shards in trial order; trial tuples concatenate and the
+    integer fields add, so merging any partition of ``[0, n_trials)``
+    reproduces the monolithic :class:`InjectionJob` result bit for bit
+    (enforced by the partition property tests).
+    """
+    if not results:
+        raise ConfigurationError("merge_results needs at least one shard result")
+    n_images = {r.n_images for r in results}
+    if len(n_images) != 1:
+        raise ConfigurationError(
+            f"shard results evaluate different image counts: {sorted(n_images)}"
+        )
+    return InjectionResult(
+        trial_accuracies=tuple(a for r in results for a in r.trial_accuracies),
+        flips_injected=sum(r.flips_injected for r in results),
+        trial_correct=tuple(c for r in results for c in r.trial_correct),
+        n_images=n_images.pop(),
+    )
 
 
 def _pass_msbs(
@@ -204,6 +282,7 @@ def run_injection_trials(
     *,
     n_trials: int,
     base_seed: int = 0,
+    trial_offset: int = 0,
     topk: int = 1,
     batch_size: int = 128,
     mode: str = "relative",
@@ -230,16 +309,26 @@ def run_injection_trials(
       :func:`trial_seed`, driving ``n_trials`` chunked int64 forwards —
       exactly the paper's protocol, unoptimized.
 
+    ``trial_offset`` selects the absolute trial block ``[trial_offset,
+    trial_offset + n_trials)`` of the seed stream: trial ``i`` of the
+    call runs at ``trial_seed(base_seed, trial_offset + i)``, which is
+    what makes any contiguous sub-range of a campaign independently
+    reproducible (the :class:`InjectionShard` contract).
+
     Relative-mode flip windows come from the full-batch fault-free
     active-MSB table in both runtimes (``prefix`` / ``msb_per_layer``
     let callers share a precomputed one).
     """
     if n_trials < 1:
         raise ConfigurationError("n_trials must be >= 1")
+    if trial_offset < 0:
+        raise ConfigurationError(f"trial_offset must be >= 0, got {trial_offset}")
+    base_seed = _validate_base_seed(base_seed)
+    n_images = int(x.shape[0])
     bers = dict(ber_per_layer)
     if not bers or all(b == 0.0 for b in bers.values()):
         acc = network.evaluate(x, y, topk=topk, batch_size=batch_size)
-        return InjectionResult(trial_accuracies=(acc,), flips_injected=0)
+        return _with_counts([acc], 0, n_images)
 
     resolved = injection_runtime(runtime)
     if resolved == "batched":
@@ -254,7 +343,7 @@ def run_injection_trials(
                 relative_window=relative_window,
                 bit_low=bit_low,
                 bit_high=bit_high,
-                seed=trial_seed(base_seed, trial),
+                seed=trial_seed(base_seed, trial_offset + trial),
                 msb_per_layer=msb_per_layer,
             )
             for trial in range(n_trials)
@@ -263,7 +352,7 @@ def run_injection_trials(
             x, y, injectors, topk=topk, batch_size=batch_size, prefix=prefix
         )
         flips = sum(inj.flips_injected for inj in injectors)
-        return InjectionResult(trial_accuracies=tuple(accuracies), flips_injected=flips)
+        return _with_counts(accuracies, flips, n_images)
 
     if mode == "relative" and msb_per_layer is None:
         msb_per_layer = (
@@ -284,12 +373,12 @@ def run_injection_trials(
     accuracies = []
     flips = 0
     for trial in range(n_trials):
-        injector.reseed(trial_seed(base_seed, trial))
+        injector.reseed(trial_seed(base_seed, trial_offset + trial))
         accuracies.append(
             network.evaluate(x, y, topk=topk, batch_size=batch_size, injector=injector)
         )
         flips += injector.flips_injected
-    return InjectionResult(trial_accuracies=tuple(accuracies), flips_injected=flips)
+    return _with_counts(accuracies, flips, n_images)
 
 
 @dataclass(frozen=True, eq=False)
@@ -376,6 +465,7 @@ class InjectionJob(EngineJob):
             raise ConfigurationError("inject_n must be >= 1")
         if self.n_trials < 1:
             raise ConfigurationError("n_trials must be >= 1")
+        _validate_base_seed(self.base_seed)
         if self.topk < 1:
             raise ConfigurationError("topk must be >= 1")
         if self.batch_size < 1:
@@ -395,9 +485,15 @@ class InjectionJob(EngineJob):
         """The BER table as a plain dict (for reporting)."""
         return dict(self.bers)
 
-    def key(self) -> str:
-        h = hashlib.sha256()
-        feed_hash(h, "repro-injectionjob", INJECTION_SCHEMA_VERSION)
+    def _feed_spec(self, h) -> None:
+        """Feed every result-determining field *except* ``n_trials``.
+
+        Shared by :meth:`key` and :meth:`InjectionShard.key`: a shard's
+        identity is the campaign spec plus its ``[trial_lo, trial_hi)``
+        range — deliberately independent of the campaign's total trial
+        budget, so raising ``--max-trials`` re-uses every shard already
+        in the cache.
+        """
         feed_hash(h, self.recipe, self.bundle_seed)
         feed_hash(h, *(getattr(self.scale, fld) for fld in _SCALE_FIELDS))
         for name, ber in self.bers:
@@ -408,7 +504,6 @@ class InjectionJob(EngineJob):
         feed_hash(
             h,
             self.inject_n,
-            self.n_trials,
             self.topk,
             self.base_seed,
             self.batch_size,
@@ -417,6 +512,12 @@ class InjectionJob(EngineJob):
             self.bit_low,
             self.bit_high,
         )
+
+    def key(self) -> str:
+        h = hashlib.sha256()
+        feed_hash(h, "repro-injectionjob", INJECTION_SCHEMA_VERSION)
+        self._feed_spec(h)
+        feed_hash(h, self.n_trials)
         return h.hexdigest()
 
     def _cache_identity(self) -> Tuple:
@@ -430,13 +531,13 @@ class InjectionJob(EngineJob):
             self.inject_n,
         )
 
-    def execute(self, backend_factory=None) -> InjectionResult:
-        """Rebuild the trained bundle and replay the seeded trials.
+    def execute_range(self, trial_lo: int, trial_hi: int) -> InjectionResult:
+        """Rebuild the trained bundle and replay trials ``[lo, hi)``.
 
-        ``backend_factory`` is ignored — injection runs network-level
-        inference, not array simulation.  Imported lazily: the experiments
-        package imports the faults package at module level, so the reverse
-        import must happen at call time.
+        The shared body of :meth:`execute` (the full campaign) and
+        :meth:`InjectionShard.execute` (one sub-range): trial ``t`` runs
+        at ``trial_seed(base_seed, t)`` either way, so shard results
+        concatenate bit-identically into the monolithic result.
 
         Repeated jobs on one bundle amortize their shared work inside the
         executing process: ``get_bundle`` memoizes the rebuilt
@@ -445,8 +546,14 @@ class InjectionJob(EngineJob):
         re-quantizes the network once per worker, not once per job — and
         the fault-free operand pass / active-MSB table are LRU-memoized
         here the way :meth:`repro.engine.job.SimJob.build_plan` memoizes
-        mapping plans.
+        mapping plans.  Imported lazily: the experiments package imports
+        the faults package at module level, so the reverse import must
+        happen at call time.
         """
+        if not 0 <= trial_lo < trial_hi:
+            raise ConfigurationError(
+                f"trial range [{trial_lo}, {trial_hi}) is empty or negative"
+            )
         from ..experiments.common import get_bundle
 
         bundle = get_bundle(
@@ -485,8 +592,9 @@ class InjectionJob(EngineJob):
             x,
             y,
             bers,
-            n_trials=self.n_trials,
+            n_trials=trial_hi - trial_lo,
             base_seed=self.base_seed,
+            trial_offset=trial_lo,
             topk=self.topk,
             batch_size=self.batch_size,
             mode=self.mode,
@@ -498,15 +606,26 @@ class InjectionJob(EngineJob):
             msb_per_layer=msbs,
         )
 
+    def execute(self, backend_factory=None) -> InjectionResult:
+        """Replay the full seeded campaign (trials ``[0, n_trials)``).
+
+        ``backend_factory`` is ignored — injection runs network-level
+        inference, not array simulation.
+        """
+        return self.execute_range(0, self.n_trials)
+
     def corner_names(self) -> List[str]:
         return [self.corner] if self.corner else []
 
     # ------------------------------------------------------------------ #
     @staticmethod
     def serialize_result(result: InjectionResult) -> Dict[str, np.ndarray]:
+        """Columnar npz payload (schema v4): packed arrays, no per-trial JSON."""
         return {
             "trial_accuracies": np.asarray(result.trial_accuracies, dtype=np.float64),
             "flips_injected": np.asarray(result.flips_injected, dtype=np.int64),
+            "trial_correct": np.asarray(result.trial_correct, dtype=np.int64),
+            "n_images": np.asarray(result.n_images, dtype=np.int64),
         }
 
     @staticmethod
@@ -514,4 +633,85 @@ class InjectionJob(EngineJob):
         return InjectionResult(
             trial_accuracies=tuple(float(a) for a in data["trial_accuracies"]),
             flips_injected=int(data["flips_injected"]),
+            trial_correct=tuple(int(c) for c in data["trial_correct"]),
+            n_images=int(data["n_images"]),
         )
+
+
+@dataclass(frozen=True, eq=False)
+class InjectionShard(EngineJob):
+    """One contiguous ``[trial_lo, trial_hi)`` slice of a campaign.
+
+    Sharding rests entirely on :func:`trial_seed` being a pure function
+    of ``(base_seed, t)``: shard trials draw exactly the streams the
+    monolithic :class:`InjectionJob` would, so concatenating shard
+    results over any partition of ``[0, n_trials)`` reproduces the
+    monolithic result bit for bit (the partition property tests).
+
+    Content-addressing deliberately excludes the parent campaign's
+    ``n_trials``: a shard's identity is the spec plus its own range, so
+    re-running a campaign with a larger ``--max-trials`` budget — or
+    resuming a killed one — turns every previously-computed shard into a
+    cache hit.  This *is* the checkpoint/resume mechanism; there is no
+    separate checkpoint file.
+    """
+
+    kind = "injection-shard"
+
+    job: InjectionJob
+    trial_lo: int
+    trial_hi: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.job, InjectionJob):
+            raise ConfigurationError(
+                f"InjectionShard wraps an InjectionJob, got {type(self.job).__name__}"
+            )
+        if not 0 <= self.trial_lo < self.trial_hi <= self.job.n_trials:
+            raise ConfigurationError(
+                f"shard range [{self.trial_lo}, {self.trial_hi}) invalid for a "
+                f"{self.job.n_trials}-trial campaign"
+            )
+        if not self.label:
+            base = self.job.label or self.job.recipe
+            object.__setattr__(
+                self, "label", f"{base}[{self.trial_lo}:{self.trial_hi})"
+            )
+
+    @property
+    def n_trials(self) -> int:
+        return self.trial_hi - self.trial_lo
+
+    def key(self) -> str:
+        h = hashlib.sha256()
+        feed_hash(h, "repro-injectionshard", INJECTION_SCHEMA_VERSION)
+        self.job._feed_spec(h)
+        feed_hash(h, self.trial_lo, self.trial_hi)
+        return h.hexdigest()
+
+    def execute(self, backend_factory=None) -> InjectionResult:
+        """``backend_factory`` is ignored, as on :class:`InjectionJob`."""
+        return self.job.execute_range(self.trial_lo, self.trial_hi)
+
+    def corner_names(self) -> List[str]:
+        return self.job.corner_names()
+
+    serialize_result = staticmethod(InjectionJob.serialize_result)
+    deserialize_result = staticmethod(InjectionJob.deserialize_result)
+
+
+def plan_shards(job: InjectionJob, shard_trials: int) -> List[InjectionShard]:
+    """Partition ``[0, job.n_trials)`` into ``shard_trials``-sized shards.
+
+    The last shard absorbs the remainder; a campaign smaller than one
+    shard yields a single shard covering the whole range.
+    """
+    if shard_trials < 1:
+        raise ConfigurationError(f"shard_trials must be >= 1, got {shard_trials}")
+    return [
+        InjectionShard(
+            job=job, trial_lo=lo, trial_hi=min(lo + shard_trials, job.n_trials)
+        )
+        for lo in range(0, job.n_trials, shard_trials)
+    ]

@@ -155,6 +155,13 @@ class TestReproducibility:
         assert trial_seed(0, 0) == 17
         assert trial_seed(3, 2) == 2020
 
+    def test_trial_seed_sequence_pinned(self):
+        # The shard/resume contract: trial t of a base_seed-7 campaign
+        # draws exactly these seeds, forever.  Changing trial_seed
+        # silently invalidates every cached shard — if this test fails,
+        # bump INJECTION_SCHEMA_VERSION instead of repinning.
+        assert [trial_seed(7, t) for t in range(5)] == [24, 1024, 2024, 3024, 4024]
+
     def test_inline_deterministic(self, bundle):
         job = make_job(bundle)
         assert job.execute() == job.execute()
@@ -300,3 +307,43 @@ class TestAgainstInlineEvaluator:
         job = injection_job_for_bundle(bundle, bers, inject_n=8, n_trials=1)
         result = job.execute()
         assert 0.0 <= result.trial_accuracies[0] <= 1.0
+
+
+class TestBaseSeedValidation:
+    """``base_seed`` is validated uniformly at every entry point.
+
+    An out-of-range seed that only failed deep inside numpy's RNG would
+    poison the content-addressed cache with a key for a job that can
+    never execute; both doors must reject it up front with the same
+    error type.
+    """
+
+    BAD_SEEDS = [-1, 2**32, "7", 7.0, True]
+
+    @pytest.mark.parametrize("seed", BAD_SEEDS, ids=repr)
+    def test_job_construction_rejects(self, seed):
+        with pytest.raises(ConfigurationError):
+            InjectionJob(
+                recipe="x", scale=MICRO, bers={"conv0": 1e-3},
+                inject_n=1, n_trials=1, base_seed=seed,
+            )
+
+    @pytest.mark.parametrize("seed", BAD_SEEDS, ids=repr)
+    def test_run_injection_trials_rejects(self, bundle, seed):
+        with pytest.raises(ConfigurationError):
+            run_injection_trials(
+                bundle.qnet,
+                bundle.x_test[:4],
+                bundle.y_test[:4],
+                {"conv0": 1e-3},
+                n_trials=1,
+                base_seed=seed,
+            )
+
+    def test_boundary_seeds_accepted(self):
+        for seed in (0, 2**32 - 1):
+            job = InjectionJob(
+                recipe="x", scale=MICRO, bers={"conv0": 1e-3},
+                inject_n=1, n_trials=1, base_seed=seed,
+            )
+            assert job.base_seed == seed

@@ -18,7 +18,12 @@ from hypothesis import strategies as st
 
 from repro.errors import QuantizationError
 from repro.experiments.common import SCALES, get_bundle
-from repro.faults import BitFlipInjector, measure_active_msbs, run_injection_trials
+from repro.faults import (
+    BitFlipInjector,
+    measure_active_msbs,
+    merge_results,
+    run_injection_trials,
+)
 from repro.faults.injection_job import _pass_msbs
 
 MICRO = SCALES["micro"]
@@ -226,6 +231,50 @@ class TestEvaluateChunking:
         x, y = vgg.x_test[:18], vgg.y_test[:18]
         acc = vgg.qnet.evaluate(x, y, batch_size=7)
         assert (acc * 18) == pytest.approx(round(acc * 18), abs=1e-12)
+
+
+class TestShardedChunkedEquivalence:
+    """Sharding x runtime x non-divisible evaluate chunks, all at once.
+
+    A campaign shard evaluates trials ``[lo, hi)`` via ``trial_offset``;
+    with 18 images and ``batch_size=7`` the final evaluate chunk holds 4
+    images.  Bit-identity must survive the combination: serial == batched
+    on every shard, and shards merged in either runtime == the monolithic
+    serial run.
+    """
+
+    N_IMAGES = 18
+    CUTS = [(0, 2), (2, 5), (5, 6)]
+
+    def sharded(self, bundle, runtime, lo, hi):
+        names = [qc.name for qc in bundle.qnet.qconvs()[:2]]
+        return run_injection_trials(
+            bundle.qnet,
+            bundle.x_test[: self.N_IMAGES],
+            bundle.y_test[: self.N_IMAGES],
+            {name: 2e-3 for name in names},
+            n_trials=hi - lo,
+            trial_offset=lo,
+            base_seed=7,
+            runtime=runtime,
+            batch_size=7,
+        )
+
+    def test_serial_equals_batched_on_every_shard(self, vgg):
+        for lo, hi in self.CUTS:
+            assert self.sharded(vgg, "serial", lo, hi) == self.sharded(
+                vgg, "batched", lo, hi
+            )
+
+    def test_shard_merge_equals_monolithic_across_runtimes(self, vgg):
+        mono = self.sharded(vgg, "serial", 0, 6)
+        merged = merge_results(
+            [self.sharded(vgg, "batched", lo, hi) for lo, hi in self.CUTS]
+        )
+        assert merged.trial_accuracies == mono.trial_accuracies
+        assert merged.trial_correct == mono.trial_correct
+        assert merged.flips_injected == mono.flips_injected
+        assert merged.n_images == mono.n_images == self.N_IMAGES
 
 
 class TestValidation:
