@@ -7,7 +7,27 @@ registers the ``--backend`` / ``--update-golden`` options), a bare
 module it resolves to.
 """
 
+import os
 import time
+
+
+def env_float(name, default):
+    """Read a float knob from the environment, failing loudly on junk.
+
+    Bench floors are tuned via environment variables on noisy hosts; a
+    typo'd value must not silently parse as the default (or crash deep
+    inside an assertion with a bare ``ValueError``).  Returns ``default``
+    when the variable is unset or empty.
+    """
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return float(default)
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(
+            f"${name} must be a number (e.g. '12.5'), got {raw!r}"
+        ) from None
 
 
 def run_once(benchmark, fn, *args, **kwargs):

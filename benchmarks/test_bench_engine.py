@@ -29,17 +29,25 @@ from pathlib import Path
 import numpy as np
 
 from repro.core import MappingStrategy
-from repro.engine import SimEngine, SimJob
+from repro.engine import NetworkJob, SimEngine, SimJob
 from repro.hw.variations import PAPER_CORNERS
 
-from bench_util import run_once, timed, timed_interleaved
+from bench_util import env_float, run_once, timed, timed_interleaved
 
 #: Machine-readable bench record, at the repository root.
 BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
 
 #: The asserted floor on the vector backend's speedup over reference.
 #: Overridable for noisy shared hosts via $REPRO_BENCH_MIN_SPEEDUP.
-MIN_VECTOR_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "10.0"))
+#: The honest interleaved best-of-N measurement on the 1-core reference
+#: host lands at 16-18x with ±20 % wall-clock noise; the floor is pinned
+#: below the noisiest observation, not at the mean.
+MIN_VECTOR_SPEEDUP = env_float("REPRO_BENCH_MIN_SPEEDUP", 12.0)
+
+#: Ceiling (seconds) on one stacked full-network TER pass at the
+#: ``small``-scale network shape, vector backend.  Measured ~0.25s on
+#: the 1-core reference host; the ceiling leaves 4x for host noise.
+MAX_NETWORK_TER_SECONDS = env_float("REPRO_BENCH_MAX_NETWORK_TER_SECONDS", 1.0)
 
 #: Conv-layer operand shapes of the ``micro`` bundle with full pixel
 #: streams (no sub-sampling): the canonical backend-comparison workload.
@@ -94,6 +102,77 @@ def micro_stream_jobs(seed=7):
     ]
 
 
+#: A ``small``-scale full-network TER workload: the VGG16-style stack at
+#: the small scale's 0.125 width with its 48-row sampled GEMMs plus the
+#: lowered classifier head — every layer the per-layer TER study walks,
+#: shaped as the real ``read-repro`` small runs shape them, but with
+#: synthetic operands so the bench is hermetic (no training, no dataset).
+SMALL_NETWORK_SHAPES = (
+    (48, 27, 8),
+    (48, 72, 8),
+    (48, 72, 16),
+    (48, 144, 16),
+    (48, 144, 32),
+    (48, 288, 32),
+    (48, 288, 32),
+    (48, 288, 64),
+    (48, 576, 64),
+    (48, 576, 64),
+    (48, 576, 64),
+    (48, 576, 64),
+    (48, 576, 64),
+    (4, 64, 10),  # classifier head lowered to a 1x1 conv, one row/image
+)
+
+
+def small_network_job(seed=11):
+    """One stacked NetworkJob covering every layer of the small network."""
+    rng = np.random.default_rng(seed)
+    strategies = list(MappingStrategy)
+    jobs = [
+        SimJob(
+            acts=rng.integers(0, 256, size=(n_pixels, c_eff)),
+            weights=rng.integers(-128, 128, size=(c_eff, k)),
+            corners=PAPER_CORNERS,
+            group_size=4,
+            strategy=strategies[i % len(strategies)],
+            label=f"bench:small-net:{i}",
+        )
+        for i, (n_pixels, c_eff, k) in enumerate(SMALL_NETWORK_SHAPES)
+    ]
+    return NetworkJob(jobs=tuple(jobs), label="bench:small-net")
+
+
+def test_bench_engine_full_network_ter(benchmark):
+    """One stacked full-network TER pass must stay interactive (~1s)."""
+    network = small_network_job()
+    engine = SimEngine(backend="vector", use_cache=False)
+    engine.run_many([network])  # warm numpy paths and the plan memo
+    t_first = timed(lambda: engine.run_many([network]), repeats=3)
+    t_net = t_first
+    retry = None
+    if t_first > MAX_NETWORK_TER_SECONDS:
+        retry = timed(lambda: engine.run_many([network]), repeats=5)
+        t_net = min(t_first, retry)
+    run_once(benchmark, engine.run_many, [network])
+    payload = {
+        "batch": f"{len(network.jobs)} layers x {len(PAPER_CORNERS)} corners, "
+        "small-scale VGG16-style shapes, one stacked NetworkJob",
+        "wall_clock_s": round(t_net, 4),
+        "asserted_max_seconds": MAX_NETWORK_TER_SECONDS,
+    }
+    if retry is not None:
+        payload["wall_clock_s_first_measure"] = round(t_first, 4)
+        payload["wall_clock_s_retry_measure"] = round(retry, 4)
+    record_bench("network_ter", payload)
+    print()
+    print(f"full-network TER ({len(network.jobs)} layers): {t_net:.3f}s")
+    assert t_net <= MAX_NETWORK_TER_SECONDS, (
+        f"full-network TER pass regressed: {t_net:.3f}s > "
+        f"{MAX_NETWORK_TER_SECONDS}s ceiling (see BENCH_engine.json)"
+    )
+
+
 def make_jobs(n_jobs=6, n_pixels=64, c_eff=96, k=16, seed=7):
     """A synthetic multi-layer sweep: every job at all six paper corners."""
     rng = np.random.default_rng(seed)
@@ -118,27 +197,42 @@ def test_bench_engine_backends(benchmark):
         name: SimEngine(backend=name, use_cache=False)
         for name in ("reference", "fast", "vector")
     }
-    for engine in engines.values():  # warm numpy paths and the plan memo
-        engine.run_many(jobs)
+    warm = {}
+    for name, engine in engines.items():  # warm numpy paths and the plan memo
+        warm[name] = engine.run_many(jobs)
+    # The speedup only counts if the answers agree: fast and vector
+    # reduce the identical delay histogram, so their TERs are bit-equal.
+    for fast_res, vec_res in zip(warm["fast"], warm["vector"]):
+        for corner in fast_res:
+            assert fast_res[corner].ter == vec_res[corner].ter
     contenders = [lambda e=e: e.run_many(jobs) for e in engines.values()]
-    clocks = dict(zip(engines, timed_interleaved(contenders, repeats=5)))
-    if clocks["reference"] / clocks["vector"] < MIN_VECTOR_SPEEDUP:
+    first = dict(zip(engines, timed_interleaved(contenders, repeats=5)))
+    clocks = dict(first)
+    retry = None
+    if first["reference"] / first["vector"] < MIN_VECTOR_SPEEDUP:
         # One extended re-measure before declaring a regression: a single
         # noisy-neighbor blip on a shared runner can depress best-of-5.
+        # Both measurements go into the bench record, so a floor trip in
+        # CI shows whether the retry confirmed or refuted the first pass.
         retry = dict(zip(engines, timed_interleaved(contenders, repeats=7)))
-        clocks = {name: min(clocks[name], retry[name]) for name in clocks}
+        clocks = {name: min(first[name], retry[name]) for name in first}
     run_once(benchmark, engines["vector"].run_many, jobs)
     speedups = {name: clocks["reference"] / clocks[name] for name in clocks}
-    record_bench(
-        "backends",
-        {
-            "batch": "micro-scale conv shapes, full operand streams, "
-            f"{len(jobs)} jobs x {len(PAPER_CORNERS)} corners",
-            "wall_clock_s": {k: round(v, 4) for k, v in clocks.items()},
-            "speedup_vs_reference": {k: round(v, 2) for k, v in speedups.items()},
-            "asserted_min_vector_speedup": MIN_VECTOR_SPEEDUP,
-        },
-    )
+    payload = {
+        "batch": "micro-scale conv shapes, full operand streams, "
+        f"{len(jobs)} jobs x {len(PAPER_CORNERS)} corners",
+        "wall_clock_s": {k: round(v, 4) for k, v in clocks.items()},
+        "speedup_vs_reference": {k: round(v, 2) for k, v in speedups.items()},
+        "asserted_min_vector_speedup": MIN_VECTOR_SPEEDUP,
+    }
+    if retry is not None:
+        payload["wall_clock_s_first_measure"] = {
+            k: round(v, 4) for k, v in first.items()
+        }
+        payload["wall_clock_s_retry_measure"] = {
+            k: round(v, 4) for k, v in retry.items()
+        }
+    record_bench("backends", payload)
     print()
     print(
         "  ".join(

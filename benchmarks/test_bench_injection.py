@@ -38,14 +38,14 @@ from repro.engine import SimEngine
 from repro.experiments.common import SCALES, get_bundle
 from repro.faults import injection_job_for_bundle
 
-from bench_util import run_once, timed_interleaved
+from bench_util import env_float, run_once, timed_interleaved
 
 #: Machine-readable bench record, at the repository root.
 BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_injection.json"
 
 #: Asserted floor on the batched runtime's speedup over the serial
 #: reference.  Overridable for noisy shared hosts.
-MIN_INJECTION_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_INJECTION_SPEEDUP", "5.0"))
+MIN_INJECTION_SPEEDUP = env_float("REPRO_BENCH_MIN_INJECTION_SPEEDUP", 5.0)
 
 #: The two networks of Fig. 10.
 RECIPES = ("vgg16_cifar10", "resnet18_cifar10")
@@ -100,43 +100,50 @@ def test_bench_injection_batched_vs_serial(benchmark):
         lambda: engine.run_many(serial_jobs),
         lambda: engine.run_many(batched_jobs),
     ]
-    t_serial, t_batched = timed_interleaved(contenders, repeats=3)
-    if t_serial / t_batched < MIN_INJECTION_SPEEDUP:
+    first_serial, first_batched = timed_interleaved(contenders, repeats=3)
+    t_serial, t_batched = first_serial, first_batched
+    retry = None
+    if first_serial / first_batched < MIN_INJECTION_SPEEDUP:
         # One extended re-measure before declaring a regression: a single
         # noisy-neighbor blip on a shared runner can depress best-of-3.
-        r_serial, r_batched = timed_interleaved(contenders, repeats=4)
-        t_serial = min(t_serial, r_serial)
-        t_batched = min(t_batched, r_batched)
+        # Both measurements go into the bench record, so a floor trip in
+        # CI shows whether the retry confirmed or refuted the first pass.
+        retry = timed_interleaved(contenders, repeats=4)
+        t_serial = min(first_serial, retry[0])
+        t_batched = min(first_batched, retry[1])
     run_once(benchmark, engine.run_many, batched_jobs)
     speedup = t_serial / t_batched
 
-    BENCH_JSON.write_text(
-        json.dumps(
-            {
-                "schema": 1,
-                "host": {"cpu_count": os.cpu_count()},
-                "command": (
-                    "PYTHONPATH=src python -m pytest "
-                    "benchmarks/test_bench_injection.py -q -s"
-                ),
-                "campaign": {
-                    "shape": "fig10 micro: one InjectionJob per (strategy x corner) "
-                    "cell, full per-layer BER tables, n_trials per the micro scale",
-                    "recipes": list(RECIPES),
-                    "n_jobs": len(serial_jobs),
-                },
-                "wall_clock_s": {
-                    "serial": round(t_serial, 4),
-                    "batched": round(t_batched, 4),
-                },
-                "speedup_batched_vs_serial": round(speedup, 2),
-                "asserted_min_speedup": MIN_INJECTION_SPEEDUP,
-            },
-            indent=2,
-            sort_keys=True,
-        )
-        + "\n"
-    )
+    record = {
+        "schema": 1,
+        "host": {"cpu_count": os.cpu_count()},
+        "command": (
+            "PYTHONPATH=src python -m pytest "
+            "benchmarks/test_bench_injection.py -q -s"
+        ),
+        "campaign": {
+            "shape": "fig10 micro: one InjectionJob per (strategy x corner) "
+            "cell, full per-layer BER tables, n_trials per the micro scale",
+            "recipes": list(RECIPES),
+            "n_jobs": len(serial_jobs),
+        },
+        "wall_clock_s": {
+            "serial": round(t_serial, 4),
+            "batched": round(t_batched, 4),
+        },
+        "speedup_batched_vs_serial": round(speedup, 2),
+        "asserted_min_speedup": MIN_INJECTION_SPEEDUP,
+    }
+    if retry is not None:
+        record["wall_clock_s_first_measure"] = {
+            "serial": round(first_serial, 4),
+            "batched": round(first_batched, 4),
+        }
+        record["wall_clock_s_retry_measure"] = {
+            "serial": round(retry[0], 4),
+            "batched": round(retry[1], 4),
+        }
+    BENCH_JSON.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     print()
     print(
         f"injection campaign ({len(serial_jobs)} jobs): serial {t_serial:.3f}s  "

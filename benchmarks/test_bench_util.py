@@ -1,0 +1,26 @@
+"""Unit tests for the bench helpers (no benchmarking involved)."""
+
+import pytest
+
+from bench_util import env_float
+
+
+def test_env_float_default_when_unset(monkeypatch):
+    monkeypatch.delenv("REPRO_TEST_KNOB", raising=False)
+    assert env_float("REPRO_TEST_KNOB", 12.5) == 12.5
+
+
+def test_env_float_default_when_empty(monkeypatch):
+    monkeypatch.setenv("REPRO_TEST_KNOB", "   ")
+    assert env_float("REPRO_TEST_KNOB", 3) == 3.0
+
+
+def test_env_float_parses_value(monkeypatch):
+    monkeypatch.setenv("REPRO_TEST_KNOB", "7.25")
+    assert env_float("REPRO_TEST_KNOB", 1.0) == 7.25
+
+
+def test_env_float_rejects_junk_with_clear_error(monkeypatch):
+    monkeypatch.setenv("REPRO_TEST_KNOB", "fast-please")
+    with pytest.raises(ValueError, match=r"\$REPRO_TEST_KNOB must be a number"):
+        env_float("REPRO_TEST_KNOB", 1.0)

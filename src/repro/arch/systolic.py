@@ -118,22 +118,74 @@ def weight_stationary_fold(
         The dataflow-adjusted spans (same shape/dtype class as
         ``native_spans``) and the sign-flip/transition totals.
     """
+    spans, flips, transition_rows = weight_stationary_fold_grouped(
+        psum_fields, native_spans, pixel_chunk, width, ((slice(None),),)
+    )
+    per_cycle = int(np.prod(psum_fields.shape[1:], dtype=np.int64))
+    return spans, flips[0], transition_rows * per_cycle
+
+
+def weight_stationary_fold_grouped(
+    psum_fields: np.ndarray,
+    native_spans: np.ndarray,
+    pixel_chunk: int,
+    width: int,
+    group_slices: Sequence[tuple],
+    span_bias: int = 0,
+) -> Tuple[np.ndarray, Tuple[int, ...], int]:
+    """:func:`weight_stationary_fold` with per-slice flip accounting.
+
+    The ``vector`` backend stacks several layers' group-GEMMs along one
+    axis of a shared tile; the fold itself is elementwise along the
+    pixel axis, so one shared pass serves every stacked job — only the
+    *flip totals* must come back per job.  ``group_slices`` are full
+    index tuples (one per stacked job, e.g.
+    ``(slice(None), slice(None), job_slice)`` for a stacked axis at
+    position 2); the returned ``flips`` tuple is aligned with them.
+    Returns ``(spans, flips_per_slice, transition_rows)`` where each
+    slice's transition count is ``transition_rows`` times its per-row
+    cycle count.
+
+    ``span_bias`` selects the span encoding.  0 keeps plain 1-based
+    spans (``frexp`` exponents).  The vector backend instead keys its
+    delay histogram on *float-exponent-biased* spans — span ``s > 0``
+    encodes as ``s + bias`` where ``bias`` is the IEEE exponent bias
+    minus one (126 for float32 / width <= 24, 1022 for float64) and 0
+    stays 0 — because that is what the raw exponent bits of the float
+    cast read back without any fix-up pass.  When ``span_bias`` is
+    passed it must match that float-dtype rule; the chunk-start
+    ``native_spans`` are assumed already biased by the caller.
+    """
     n_pixels = psum_fields.shape[0]
     chunk_starts = np.arange(0, n_pixels, pixel_chunk)
     xor = np.empty_like(psum_fields)
     np.bitwise_xor(psum_fields[1:], psum_fields[:-1], out=xor[1:])
     xor[chunk_starts] = 0
     sign_bit = np.asarray(1 << (width - 1), dtype=psum_fields.dtype)
-    flips = int(np.count_nonzero(xor >= sign_bit))  # xor==0 at chunk starts
+    flips = tuple(
+        int(np.count_nonzero(xor[idx] >= sign_bit))  # xor==0 at chunk starts
+        for idx in group_slices
+    )
     # frexp's exponent is the 1-based highest set bit; float32 is exact
     # for fields under 24 bits (the paper's accumulator), float64 beyond.
     float_dtype = np.float32 if width <= 24 else np.float64
-    _, spans = np.frexp(xor.astype(float_dtype))
+    if span_bias:
+        expected = 126 if width <= 24 else 1022
+        if span_bias != expected:
+            raise ValueError(
+                f"span_bias {span_bias} does not match width {width} "
+                f"(expected {expected})"
+            )
+        floats = xor.astype(float_dtype)
+        if float_dtype is np.float32:
+            spans = floats.view(np.int32) >> 23
+        else:
+            spans = floats.view(np.int64) >> 52
+    else:
+        _, spans = np.frexp(xor.astype(float_dtype))
     spans = spans.astype(native_spans.dtype, copy=False)
     spans[chunk_starts] = native_spans[chunk_starts]
-    per_cycle = int(np.prod(psum_fields.shape[1:], dtype=np.int64))
-    transitions = (n_pixels - chunk_starts.size) * per_cycle
-    return spans, flips, transitions
+    return spans, flips, int(n_pixels - chunk_starts.size)
 
 
 class SystolicArraySimulator:

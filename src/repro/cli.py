@@ -155,6 +155,60 @@ def build_parser() -> argparse.ArgumentParser:
     _scale_flag(sweep_parser)
     _engine_flags(sweep_parser)
 
+    fuzz_parser = subparsers.add_parser(
+        "fuzz",
+        help="differential conformance fuzz of the simulation backends",
+        description=(
+            "Draw randomized job specifications over the full axis cross "
+            "product (widths x dataflows x strategies x corners x groups x "
+            "bits), run every registered backend on the same jobs, and check "
+            "the conformance contract (bit-equal outputs and integer stats, "
+            "TER within 1e-9 of reference, fast==vector bitwise, stacked "
+            "run_network == per-job run).  Failures are minimized and "
+            "printed as a single replayable --spec command."
+        ),
+        epilog=(
+            "examples: read-repro fuzz --seed 7 --cases 200  |  "
+            "read-repro fuzz --spec 'n_pixels=1,c_eff=3,...' --backend vector"
+        ),
+    )
+    fuzz_parser.add_argument(
+        "--seed", type=int, default=7, help="campaign seed (default: 7)"
+    )
+    fuzz_parser.add_argument(
+        "--cases",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="number of drawn cases (default: $REPRO_FUZZ_ITERS or 200)",
+    )
+    fuzz_parser.add_argument(
+        "--case",
+        type=int,
+        default=None,
+        metavar="I",
+        help="replay exactly one (seed, index) case instead of a campaign",
+    )
+    fuzz_parser.add_argument(
+        "--spec",
+        default=None,
+        metavar="K=V,...",
+        help="replay one explicit case spec (as printed by a failure repro)",
+    )
+    fuzz_parser.add_argument(
+        "--backend",
+        action="append",
+        choices=backend_names(),
+        default=None,
+        help="restrict to specific backends (repeatable; default: all)",
+    )
+    fuzz_parser.add_argument(
+        "--failures-file",
+        default=None,
+        metavar="PATH",
+        help="write minimized repro commands for failures to PATH (CI artifact)",
+    )
+
     campaign_parser = subparsers.add_parser(
         "campaign",
         help="sharded, resumable, statistically-stopped injection campaign",
@@ -269,6 +323,55 @@ def _print_engine_summary(engine) -> None:
     )
 
 
+def _run_fuzz(args) -> int:
+    """``read-repro fuzz``: campaign, single-case replay, or spec replay."""
+    import os
+
+    from .engine.fuzz import (
+        DEFAULT_CASES,
+        FuzzCase,
+        draw_case,
+        fuzz,
+        repro_command,
+        run_case,
+    )
+
+    if args.spec is not None and args.case is not None:
+        print("error: --spec and --case are mutually exclusive", file=sys.stderr)
+        return 2
+    backends = args.backend  # None -> all registered
+    if args.spec is not None or args.case is not None:
+        case = (
+            FuzzCase.from_spec(args.spec)
+            if args.spec is not None
+            else draw_case(args.seed, args.case)
+        )
+        print(f"case: {case.to_spec()}")
+        problems = run_case(case, backends)
+        for problem in problems:
+            print(f"[{problem.backend}] {problem.what}: {problem.detail}")
+        print("FAIL" if problems else "PASS")
+        return 1 if problems else 0
+
+    n_cases = args.cases
+    if n_cases is None:
+        n_cases = int(os.environ.get("REPRO_FUZZ_ITERS", DEFAULT_CASES))
+    report = fuzz(args.seed, n_cases, backends=backends, log=print)
+    if report.ok:
+        print(f"fuzz: {n_cases} cases, seed {args.seed}: all conformant")
+        return 0
+    lines = [repro_command(case, backends) for _, case, _ in report.failures]
+    if args.failures_file:
+        with open(args.failures_file, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        print(f"fuzz: wrote {len(lines)} repro command(s) to {args.failures_file}")
+    print(
+        f"fuzz: {len(report.failures)} failing case(s) out of <= {n_cases} "
+        f"(seed {args.seed}); minimized repro commands above"
+    )
+    return 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (also exposed as the ``read-repro`` script)."""
     args = build_parser().parse_args(argv)
@@ -276,6 +379,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in sorted(RUNNERS):
             print(f"{name:8s} {_doc_line(RUNNERS[name])}")
         return 0
+    if args.experiment == "fuzz":
+        return _run_fuzz(args)
     engine = configure_default_engine(
         backend=args.backend,
         jobs=args.jobs,

@@ -3,10 +3,12 @@
 The engine turns the paper's serial per-figure simulation loops into one
 schedulable workload: experiments describe their measurements as
 :class:`SimJob`\\ s, and :class:`SimEngine` executes them on a selectable
-backend (``reference``, batched ``fast``, or whole-tile ``vector`` —
-conformance-tested bit-compatible, with ``vector`` ≥10x over the
-reference), fans cache-missing jobs out over worker processes, and
-memoizes every result on disk keyed by a content hash of the job spec.
+backend (``reference``, batched ``fast``, or whole-network ``vector`` —
+conformance-tested bit-compatible, with ``vector`` ≥25x over the
+reference), stacks whole networks of layer jobs into single
+:class:`NetworkJob` folds, fans cache-missing jobs out over worker
+processes, and memoizes every result on disk keyed by a content hash of
+the job spec.
 See ``docs/engine.md`` for the full tour.
 
 Quickstart::
@@ -32,7 +34,7 @@ from .backends import (
     register_backend,
 )
 from .cache import CACHE_ENV_VAR, ResultCache, cache_root
-from .job import CACHE_SCHEMA_VERSION, EngineJob, SimJob, feed_hash, job_key
+from .job import CACHE_SCHEMA_VERSION, EngineJob, NetworkJob, SimJob, feed_hash, job_key
 from .scheduler import (
     EngineStats,
     SimEngine,
@@ -48,6 +50,7 @@ __all__ = [
     "EngineJob",
     "EngineStats",
     "FastBackend",
+    "NetworkJob",
     "ReferenceBackend",
     "ResultCache",
     "SimEngine",

@@ -73,6 +73,24 @@ class SimulationBackend(ABC):
     def run(self, job: SimJob) -> Dict[str, LayerReliabilityReport]:
         """Simulate ``job`` and return ``{corner name: report}``."""
 
+    def run_network(
+        self, jobs: List[SimJob]
+    ) -> List[Dict[str, LayerReliabilityReport]]:
+        """Simulate a batch of jobs; results align with ``jobs``.
+
+        The default simply loops :meth:`run`.  Backends that can exploit
+        batch structure override it — the ``vector`` backend stacks all
+        equal-shape width classes of the batch into shared tiles (one
+        Python-level fold per width class of the whole network) and
+        prices every corner of every job against one shared probability
+        grid.  The scheduler's job fusion keys off whether this method
+        is overridden, so loop-only backends pay no batching overhead.
+        Must be bit-identical to the per-job loop (pinned by
+        ``tests/test_backend_conformance.py`` and the differential
+        fuzzer).
+        """
+        return [self.run(job) for job in jobs]
+
 
 class ReferenceBackend(SimulationBackend):
     """The seed cycle-behavioural simulator, semantics unchanged."""

@@ -46,7 +46,11 @@ from ..hw.variations import PvtaCondition
 
 #: Bump when the cached result layout or simulation semantics change;
 #: old cache entries then miss instead of deserializing garbage.
-CACHE_SCHEMA_VERSION = 1
+#: v2: corner pricing contracts per-corner rows with an elementwise
+#: multiply + pairwise sum instead of one matrix product (TERs move at
+#: ulp level, and are now bit-stable across corner-set and network-batch
+#: composition).
+CACHE_SCHEMA_VERSION = 2
 
 #: Per-process memo of materialized mapping plans (see
 #: :meth:`SimJob.build_plan`); bounded LRU so long sweeps cannot grow it
@@ -309,6 +313,89 @@ class SimJob(EngineJob):
                 corner_name=name,
             )
         return reports
+
+
+@dataclass(frozen=True, eq=False)
+class NetworkJob(EngineJob):
+    """A whole network's layer simulations, stacked into one unit of work.
+
+    Wraps an ordered tuple of :class:`SimJob`\\ s (typically every layer
+    and conv-group GEMM of one network) so a backend can simulate them
+    as shared tiles instead of one Python-level pass per layer — the
+    ``vector`` backend's :meth:`~repro.engine.backends.SimulationBackend.
+    run_network` stacks all equal-shape width classes across layers into
+    one ``(pixels, groups, PEs, cycles)`` fold.
+
+    Cache fan-out contract: the scheduler never caches a ``NetworkJob``
+    under its own key.  :meth:`SimEngine.run_many` expands it into its
+    member jobs up front, so hits/misses/dedup all happen per
+    :class:`SimJob` key — a warm per-layer cache fully satisfies a
+    stacked submission, and a stacked run warms the per-layer cache for
+    later solo submissions (campaign shard resume included).  The result
+    is the list of per-job report dicts, aligned with ``jobs``.
+    """
+
+    kind = "network"
+
+    jobs: Tuple[SimJob, ...] = ()
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        jobs = tuple(self.jobs)
+        object.__setattr__(self, "jobs", jobs)
+        if not jobs:
+            raise MappingError("NetworkJob needs at least one SimJob")
+        for job in jobs:
+            if not isinstance(job, SimJob):
+                raise MappingError(
+                    f"NetworkJob stacks SimJobs only, got {type(job).__name__}"
+                )
+
+    def key(self) -> str:
+        h = hashlib.sha256()
+        _feed(h, "repro-networkjob", CACHE_SCHEMA_VERSION, len(self.jobs))
+        for job in self.jobs:
+            _feed(h, job.key())
+        return h.hexdigest()
+
+    def check(self) -> None:
+        for job in self.jobs:
+            job.check()
+
+    def execute(self, backend_factory: Callable[[], object]):
+        """Run the stacked batch on the engine's configured backend."""
+        return backend_factory().run_network(list(self.jobs))
+
+    def corner_names(self) -> List[str]:
+        names: List[str] = []
+        for job in self.jobs:
+            for name in job.corner_names():
+                if name not in names:
+                    names.append(name)
+        return names
+
+    # ------------------------------------------------------------------ #
+    # (De)serialization exists for completeness — the scheduler's fan-out
+    # stores per-SimJob entries, never a stacked one.
+    @staticmethod
+    def serialize_result(result) -> Dict[str, np.ndarray]:
+        arrays: Dict[str, np.ndarray] = {
+            "n_jobs": np.array(len(result), dtype=np.int64)
+        }
+        for i, reports in enumerate(result):
+            for key, value in SimJob.serialize_result(reports).items():
+                arrays[f"job{i}/{key}"] = value
+        return arrays
+
+    @staticmethod
+    def deserialize_result(data):
+        names = getattr(data, "files", None) or list(data.keys())
+        out = []
+        for i in range(int(data["n_jobs"])):
+            prefix = f"job{i}/"
+            sub = {n[len(prefix):]: data[n] for n in names if n.startswith(prefix)}
+            out.append(SimJob.deserialize_result(sub))
+        return out
 
 
 # ---------------------------------------------------------------------- #

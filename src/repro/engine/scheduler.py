@@ -22,18 +22,19 @@ runner without threading an argument through each ``run()`` signature.
 
 from __future__ import annotations
 
+import math
 import os
 import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ConfigurationError, MappingFallbackWarning
 from .backends import SimulationBackend, backend_factory, get_backend
 from .cache import ResultCache
-from .job import EngineJob
+from .job import EngineJob, NetworkJob, SimJob
 
 
 def _execute_job(factory: Callable[[], SimulationBackend], job: EngineJob):
@@ -54,6 +55,44 @@ def _execute_job(factory: Callable[[], SimulationBackend], job: EngineJob):
     job (mirroring ``SimJob.build_plan``'s plan memo).
     """
     return job.execute(factory)
+
+
+def _fused_units(
+    jobs: Sequence[EngineJob],
+    pending: Sequence[int],
+    workers: int,
+    factory: Callable[[], SimulationBackend],
+) -> List[Tuple[List[int], EngineJob]]:
+    """Pool work units for the cache-missing jobs: ``(indices, job)``.
+
+    When the configured backend overrides
+    :meth:`~repro.engine.backends.SimulationBackend.run_network`, the
+    pending :class:`SimJob`\\ s are chunked into one stacked
+    :class:`NetworkJob` per worker (contiguous, submission order) so
+    every worker runs one whole-batch fold instead of per-layer tasks;
+    a loop-only backend (or a single simulation) keeps raw per-job
+    units, and non-simulation kinds always travel alone.
+    """
+    sim_idx = [i for i in pending if isinstance(jobs[i], SimJob)]
+    units: List[Tuple[List[int], EngineJob]] = []
+    stacks = (
+        len(sim_idx) > 1
+        and type(factory()).run_network is not SimulationBackend.run_network
+    )
+    if stacks:
+        chunk = math.ceil(len(sim_idx) / workers)
+        for start in range(0, len(sim_idx), chunk):
+            idxs = sim_idx[start : start + chunk]
+            if len(idxs) == 1:
+                units.append((idxs, jobs[idxs[0]]))
+            else:
+                units.append(
+                    (idxs, NetworkJob(jobs=tuple(jobs[i] for i in idxs)))
+                )
+    else:
+        units.extend(([i], jobs[i]) for i in sim_idx)
+    units.extend(([i], jobs[i]) for i in pending if not isinstance(jobs[i], SimJob))
+    return units
 
 
 @dataclass
@@ -190,8 +229,42 @@ class SimEngine:
         ``self.jobs > 1``.  Deduplication requires the cache to be
         enabled — with ``use_cache=False`` no keys are derived and every
         job is executed as submitted.
+
+        A :class:`~repro.engine.job.NetworkJob` is expanded into its
+        member :class:`~repro.engine.job.SimJob`\\ s *before* any of the
+        above — hits, misses, dedup, stats and cache stores all happen
+        per member key, and the stacked result list is reassembled at
+        the end.  A warm per-layer cache therefore fully satisfies a
+        stacked submission (0 simulated), and a stacked run warms the
+        per-layer cache for later solo submissions.  Conversely, the
+        cache-missing *simulation* jobs of any batch — expanded or
+        submitted plain — are fused back into stacked
+        :meth:`~repro.engine.backends.SimulationBackend.run_network`
+        calls when the configured backend overrides it (one unit per
+        worker on the pool, one inline), so whole-network batching does
+        not depend on how the caller grouped its submissions.
         """
-        jobs = list(jobs)
+        submitted = list(jobs)
+        spans: List[Tuple[int, int, bool]] = []  # (start, count, stacked?)
+        flat: List[EngineJob] = []
+        for job in submitted:
+            if isinstance(job, NetworkJob):
+                spans.append((len(flat), len(job.jobs), True))
+                flat.extend(job.jobs)
+            else:
+                spans.append((len(flat), 1, False))
+                flat.append(job)
+        results_flat = self._run_flat(flat)
+        if all(not stacked for _, _, stacked in spans):
+            return results_flat
+        return [
+            list(results_flat[start : start + count]) if stacked
+            else results_flat[start]
+            for start, count, stacked in spans
+        ]
+
+    def _run_flat(self, jobs: List[EngineJob]) -> List[object]:
+        """:meth:`run_many` after NetworkJob expansion (no stacked kinds)."""
         results: List[Optional[object]] = [None] * len(jobs)
         pending: List[int] = []
         keys: List[Optional[str]] = [None] * len(jobs)
@@ -224,17 +297,36 @@ class SimEngine:
         factory = backend_factory(self.backend_name)
         if len(pending) > 1 and self.jobs > 1:
             workers = min(self.jobs, len(pending))
+            units = _fused_units(jobs, pending, workers, factory)
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
-                    pool.submit(_execute_job, factory, jobs[i]): i for i in pending
+                    pool.submit(_execute_job, factory, unit): idxs
+                    for idxs, unit in units
                 }
                 for future in as_completed(futures):
-                    results[futures[future]] = future.result()
+                    idxs = futures[future]
+                    if len(idxs) == 1:
+                        results[idxs[0]] = future.result()
+                    else:
+                        for i, result in zip(idxs, future.result()):
+                            results[i] = result
         else:
             with warnings.catch_warnings():
                 warnings.simplefilter("ignore", MappingFallbackWarning)
-                for i in pending:
-                    results[i] = jobs[i].execute(factory)
+                sim_pending = [i for i in pending if isinstance(jobs[i], SimJob)]
+                if len(sim_pending) > 1:
+                    # Stack all missing simulations through one
+                    # run_network call; a loop-only backend's default
+                    # is exactly the per-job loop this replaces.
+                    batch = factory().run_network([jobs[i] for i in sim_pending])
+                    for i, result in zip(sim_pending, batch):
+                        results[i] = result
+                    for i in pending:
+                        if not isinstance(jobs[i], SimJob):
+                            results[i] = jobs[i].execute(factory)
+                else:
+                    for i in pending:
+                        results[i] = jobs[i].execute(factory)
 
         if any(jobs[i].kind == "sim" for i in pending):
             self.used_backends.add(self.backend_name)

@@ -28,7 +28,7 @@ import numpy as np
 
 from ..arch import AcceleratorConfig, sample_pixel_rows
 from ..core import MappingStrategy
-from ..engine import SimEngine, SimJob, cache_root, default_engine
+from ..engine import NetworkJob, SimEngine, SimJob, cache_root, default_engine
 from ..errors import ConfigurationError
 from ..hw.variations import PvtaCondition
 from ..nn.datasets import load_dataset
@@ -436,7 +436,13 @@ def measure_layer_ters(
         max_pixels=max_pixels,
         seed=seed,
     )
-    all_reports = engine.run_many(jobs)
+    # One stacked submission: the whole (layer x strategy x group) batch
+    # travels as a single NetworkJob, so the vector backend folds every
+    # equal-shape width class across layers in one pass.  The scheduler
+    # expands it back into per-SimJob cache entries (see
+    # SimEngine.run_many), so warm sweeps and per-layer callers are
+    # unaffected.
+    all_reports = engine.run_many([NetworkJob(jobs=tuple(jobs), label="layer-ters")])[0]
 
     results: Dict[str, List[LayerTerRecord]] = {s.value: [] for s in strategies}
     report_iter = iter(all_reports)

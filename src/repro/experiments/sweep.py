@@ -33,7 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..engine import EngineJob, SimEngine, default_engine, engine_context
+from ..engine import EngineJob, NetworkJob, SimEngine, default_engine, engine_context
 from ..faults import bers_from_layer_ters, injection_job_for_bundle
 from ..scenarios import Scenario, get_suite, layer_names_for_recipe
 from .common import (
@@ -180,7 +180,13 @@ def run_suite(
                 ]
             )
             if sim_jobs:
-                engine.run_many(sim_jobs)
+                # Stacked prepass: one NetworkJob folds every distinct
+                # layer simulation of the suite through the backend's
+                # whole-network path; the scheduler still caches (and
+                # counts) each member under its own per-layer key.
+                engine.run_many(
+                    [NetworkJob(jobs=tuple(sim_jobs), label=f"sweep:{suite}")]
+                )
 
         # Per-scenario assembly reads from the warm cache.
         all_records = {

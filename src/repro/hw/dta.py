@@ -56,20 +56,80 @@ def histogram_expected_errors(
     The batched backends reduce a job to
     ``delay_bins[mult_bits * n_spans + span] = cycle count``: the
     triggered delay — and hence the per-corner error probability — is a
-    function of the bin, so the expected number of violating cycles is
-    ``probabilities @ counts`` over the occupied bins.  Delays come from
-    :meth:`DelayModel.bin_delays_ps` and probabilities from
+    function of the bin, so the expected number of violating cycles is a
+    probability-weighted count sum over the occupied bins.  Delays come
+    from :meth:`DelayModel.bin_delays_ps` and probabilities from
     :func:`repro.hw.variations.error_probability_matrix`, so each corner
     prices a bin with the exact float expression of
     :meth:`DynamicTimingAnalyzer.error_probabilities` — the only
     difference from the per-cycle path is float summation order.
 
     Returns one expected-error sum per corner, aligned with ``corners``.
+
+    The contraction is one elementwise multiply plus pairwise ``np.sum``
+    per corner rather than a matrix product or a BLAS dot: GEMM results
+    depend on the matrix shape and ``ddot`` on buffer alignment (its
+    SIMD prologue peels a different head per 64-byte offset), while
+    numpy's pairwise reduction runs in fixed index order — identical
+    values give an identical sum no matter how many corners (or, through
+    :func:`histogram_expected_errors_many`, how many jobs) share the
+    call.  This is the fused-corner/fused-network bit-equality contract
+    pinned by ``tests/test_backend_conformance.py``.
     """
-    occupied = np.nonzero(delay_bins)[0]
-    counts = delay_bins[occupied].astype(np.float64)
-    delays = delay_model.bin_delays_ps(occupied, n_spans)
-    return error_probability_matrix(delays, corners, clock_ps) @ counts
+    return histogram_expected_errors_many(
+        [delay_bins], n_spans, delay_model, [corners], clock_ps
+    )[0]
+
+
+def histogram_expected_errors_many(
+    delay_bins_list,
+    n_spans: int,
+    delay_model: DelayModel,
+    corners_list,
+    clock_ps: float,
+):
+    """Price many delay histograms against one shared probability grid.
+
+    Fused-pricing core of the ``vector`` backend's whole-network path:
+    the union of every job's occupied bins is priced once per distinct
+    corner (``bin_delays_ps`` and the probability rows are elementwise,
+    so a union row restricted to one job's bins carries the exact floats
+    a solo :func:`histogram_expected_errors` call would compute), and
+    each job then contracts its own counts against its gathered row
+    subset with the same alignment-independent multiply-sum.  Results
+    are therefore bit-identical to pricing each ``(histogram, corners)``
+    pair alone.
+
+    Returns one per-corner expected-error vector per job, aligned with
+    ``delay_bins_list`` / ``corners_list``.
+    """
+    occupied = [np.nonzero(np.asarray(bins))[0] for bins in delay_bins_list]
+    if not occupied:
+        return []
+    solo = len(occupied) == 1
+    union = occupied[0] if solo else np.unique(np.concatenate(occupied))
+    delays = delay_model.bin_delays_ps(union, n_spans)
+    row_of: dict = {}
+    unique_corners: list = []
+    for corners in corners_list:
+        for corner in corners:
+            if corner not in row_of:
+                row_of[corner] = len(unique_corners)
+                unique_corners.append(corner)
+    rows = error_probability_matrix(delays, unique_corners, clock_ps)
+    out = []
+    for occ, bins, corners in zip(occupied, delay_bins_list, corners_list):
+        counts = np.asarray(bins)[occ].astype(np.float64)
+        # Row slices are stride-1 either way: a C-contiguous row view
+        # when solo, a fresh contiguous gather otherwise.
+        sub = rows if solo else rows[:, np.searchsorted(union, occ)]
+        sums = np.empty(len(corners), dtype=np.float64)
+        for i, corner in enumerate(corners):
+            # Not np.dot: BLAS ddot peels by buffer alignment, so equal
+            # values can sum differently between a solo and a fused call.
+            sums[i] = np.sum(sub[row_of[corner]] * counts)
+        out.append(sums)
+    return out
 
 
 @dataclass(frozen=True)

@@ -30,6 +30,7 @@ bit-identical per-trial accuracies from the serial and trial-batched
 injection runtimes on a quantized network built from the same draw.
 """
 
+import dataclasses
 import warnings
 
 import numpy as np
@@ -39,7 +40,7 @@ from hypothesis import strategies as hst
 
 from repro.arch import AcceleratorConfig, Dataflow
 from repro.core import MappingStrategy
-from repro.engine import SimJob, backend_names, get_backend
+from repro.engine import NetworkJob, SimEngine, SimJob, backend_names, get_backend
 from repro.engine import vector as vector_module
 from repro.errors import MappingFallbackWarning
 from repro.hw.mac import MacConfig
@@ -426,3 +427,107 @@ def test_scenario_injection_runtimes_bit_identical(scenario_leg, cell):
     )
     assert serial.trial_accuracies == batched.trial_accuracies
     assert serial.flips_injected == batched.flips_injected
+
+
+# ---------------------------------------------------------------------- #
+# Corner fusion and NetworkJob stacking (the fused vector kernel)
+# ---------------------------------------------------------------------- #
+def assert_reports_identical(a, b, context=""):
+    """Bit-equality between two report dicts from the *same* backend."""
+    assert set(a) == set(b), context
+    for corner_name in a:
+        r, g = a[corner_name], b[corner_name]
+        assert np.array_equal(r.outputs, g.outputs), (context, corner_name)
+        assert r.n_cycles == g.n_cycles, (context, corner_name)
+        assert r.n_macs_per_output == g.n_macs_per_output
+        assert r.ter == g.ter, (context, corner_name, r.ter, g.ter)
+        assert r.sign_flip_rate == g.sign_flip_rate, (context, corner_name)
+        assert r.mean_chain_length == g.mean_chain_length, (context, corner_name)
+
+
+@SCENARIO_SETTINGS
+@given(cell=layer_scenarios())
+def test_corner_fused_pricing_matches_single_corner_jobs(scenario_leg, cell):
+    """Fused multi-corner pricing == one-corner-at-a-time, bit for bit.
+
+    The fused kernel builds each job's delay histogram once and prices
+    every corner against it; a job narrowed to any single corner must
+    yield the exact same report for that corner — outputs, cycle
+    counts, and every float statistic with zero tolerance.
+    """
+    job = dataclasses.replace(
+        _scenario_group_jobs(cell)[0], corners=PAPER_CORNERS
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", MappingFallbackWarning)
+        for backend in ("fast", "vector"):
+            fused = get_backend(backend).run(job)
+            for corner in PAPER_CORNERS:
+                single = get_backend(backend).run(
+                    dataclasses.replace(job, corners=(corner,))
+                )
+                assert_reports_identical(
+                    {corner.name: fused[corner.name]}, single, backend
+                )
+
+
+def _network_job_members():
+    """Distinct-key member jobs spanning dataflows, widths and scales."""
+    return [
+        CASES["output_stationary:baseline"],
+        CASES["weight_stationary:reorder"],
+        CASES["width:4x4x9"],
+        CASES["width:6x3x10"],
+        CASES["scale:wide"],
+        CASES["scale:1col"],
+    ]
+
+
+def test_network_job_equals_per_layer_jobs_with_cache_fanout(tmp_path):
+    """A stacked NetworkJob == its member SimJobs, through the cache.
+
+    Entry-for-entry bit-equality against direct per-job backend runs,
+    plus the cache fan-out contract: a cold stacked submission misses
+    once per *member* key, a warm per-layer cache fully satisfies a
+    later stacked submission, and a stacked run warms the per-layer
+    cache for solo submissions — across engine instances.
+    """
+    jobs = _network_job_members()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", MappingFallbackWarning)
+        direct = [get_backend("vector").run(job) for job in jobs]
+        fast = [get_backend("fast").run(job) for job in jobs]
+
+        engine = SimEngine(backend="vector", cache_dir=tmp_path)
+        before = engine.stats.snapshot()
+        stacked = engine.run(NetworkJob(jobs=tuple(jobs), label="conformance"))
+        delta = engine.stats.since(before)
+    assert delta.misses == len(jobs) and delta.hits == 0
+    assert isinstance(stacked, list) and len(stacked) == len(jobs)
+    for i, (got, want) in enumerate(zip(stacked, direct)):
+        assert_reports_identical(got, want, f"stacked[{i}]")
+        # The stacked fold reduces the same histograms as fast: bit-equal.
+        for corner_name in got:
+            assert got[corner_name].ter == fast[i][corner_name].ter
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", MappingFallbackWarning)
+        # The stacked run warmed the per-member cache: solo submissions
+        # on a *fresh* engine over the same cache dir are all hits.
+        solo_engine = SimEngine(backend="vector", cache_dir=tmp_path)
+        before = solo_engine.stats.snapshot()
+        solo = solo_engine.run_many(jobs)
+        delta = solo_engine.stats.since(before)
+    assert delta.hits == len(jobs) and delta.misses == 0
+    for i, (got, want) in enumerate(zip(solo, direct)):
+        assert_reports_identical(got, want, f"solo[{i}]")
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", MappingFallbackWarning)
+        # And the warm per-layer cache fully satisfies a stacked resubmit.
+        before = solo_engine.stats.snapshot()
+        restacked = solo_engine.run(NetworkJob(jobs=tuple(jobs)))
+        delta = solo_engine.stats.since(before)
+    assert delta.hits == len(jobs) and delta.misses == 0
+    for i, (got, want) in enumerate(zip(restacked, direct)):
+        assert_reports_identical(got, want, f"restacked[{i}]")

@@ -68,11 +68,60 @@ def _assert_matches(expected, actual, path=""):
         assert expected == actual, f"golden drift at {path}: {expected!r} -> {actual!r}"
 
 
+def _leaf_values(value, path=""):
+    """Flatten a canonical payload into {dotted-path: leaf value}."""
+    if isinstance(value, dict):
+        out = {}
+        for key, sub in value.items():
+            out.update(_leaf_values(sub, f"{path}.{key}" if path else str(key)))
+        return out
+    if isinstance(value, list):
+        out = {}
+        for i, sub in enumerate(value):
+            out.update(_leaf_values(sub, f"{path}[{i}]"))
+        return out
+    return {path or "<root>": value}
+
+
+def diff_summary(old, new):
+    """(added, removed, changed) leaf paths between two canonical payloads."""
+    old_leaves, new_leaves = _leaf_values(old), _leaf_values(new)
+    added = sorted(set(new_leaves) - set(old_leaves))
+    removed = sorted(set(old_leaves) - set(new_leaves))
+    changed = sorted(
+        p
+        for p in set(old_leaves) & set(new_leaves)
+        if old_leaves[p] != new_leaves[p]
+    )
+    return added, removed, changed
+
+
 def check_golden(name, payload, update):
     payload = _rounded(payload)
     path = GOLDEN_DIR / f"{name}.json"
     if update:
         GOLDEN_DIR.mkdir(exist_ok=True)
+        if path.exists():
+            added, removed, changed = diff_summary(
+                json.loads(path.read_text()), payload
+            )
+            if not (added or removed or changed):
+                # Byte-stable no-op: leave the committed bytes untouched.
+                print(f"golden {name}: unchanged")
+                return
+            print(
+                f"golden {name}: {len(changed)} changed, "
+                f"{len(added)} added, {len(removed)} removed"
+            )
+            for label, paths in (
+                ("changed", changed), ("added", added), ("removed", removed)
+            ):
+                for p in paths[:5]:
+                    print(f"  {label}: {p}")
+                if len(paths) > 5:
+                    print(f"  ... +{len(paths) - 5} more {label}")
+        else:
+            print(f"golden {name}: created")
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         return
     assert path.exists(), (
@@ -214,9 +263,9 @@ def test_golden_mixed_micro(update_golden, golden_engine):
     check_golden("mixed_micro", _suite_payload(result), update_golden)
 
 
-def test_golden_table1(update_golden):
+def _table1_payload():
     rows = table1.run()
-    payload = {
+    return {
         "rows": [
             {
                 "method": r.method,
@@ -231,4 +280,42 @@ def test_golden_table1(update_golden):
         ],
         "rendered": table1.render(rows),
     }
-    check_golden("table1", payload, update_golden)
+
+
+def test_golden_table1(update_golden):
+    check_golden("table1", _table1_payload(), update_golden)
+
+
+def test_update_golden_noop_is_byte_stable(tmp_path, monkeypatch, capsys):
+    """A no-op ``--update-golden`` must not rewrite a single byte.
+
+    The committed fixture bytes are the review surface; an update run
+    that reproduces the same numbers leaves them untouched (and says
+    so), and a run that does move numbers prints the per-fixture
+    added/removed/changed summary before rewriting.
+    """
+    committed = GOLDEN_DIR / "table1.json"
+    scratch = tmp_path / "table1.json"
+    scratch.write_text(committed.read_text())
+    monkeypatch.setattr(
+        __import__("sys").modules[__name__], "GOLDEN_DIR", tmp_path
+    )
+
+    before = scratch.read_bytes()
+    check_golden("table1", _table1_payload(), update=True)
+    assert scratch.read_bytes() == before
+    assert "golden table1: unchanged" in capsys.readouterr().out
+
+    # A real drift rewrites the fixture and summarizes what moved.
+    payload = _table1_payload()
+    payload["rows"][0]["method"] = "perturbed"
+    payload["extra"] = 1
+    del payload["rendered"]
+    check_golden("table1", payload, update=True)
+    out = capsys.readouterr().out
+    assert "golden table1: 1 changed, 1 added, 1 removed" in out
+    assert "changed: rows[0].method" in out
+    assert "added: extra" in out
+    assert "removed: rendered" in out
+    assert scratch.read_bytes() != before
+    assert json.loads(scratch.read_text())["rows"][0]["method"] == "perturbed"
