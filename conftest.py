@@ -15,7 +15,21 @@ collected):
     (``tests/test_golden_figures.py``).  Inspect the diff before
     committing — these files are the drift alarm for figure-level
     numbers.
+
+It also registers the ``concurrency`` marker: cross-process cache
+contention, crash-safety and engine-daemon lifecycle tests (fork, SIGKILL
+and socket heavy — CI runs them as their own job via
+``-m concurrency``).  They are part of the default collection; the
+marker exists to select them, not to skip them.
 """
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "concurrency: cross-process cache contention, crash-safety and "
+        "engine-daemon lifecycle tests",
+    )
 
 
 def pytest_addoption(parser):

@@ -8,7 +8,10 @@ conformance-tested bit-compatible, with ``vector`` ≥25x over the
 reference), stacks whole networks of layer jobs into single
 :class:`NetworkJob` folds, fans cache-missing jobs out over worker
 processes, and memoizes every result on disk keyed by a content hash of
-the job spec.
+the job spec.  A resident daemon (``read-repro serve`` /
+:class:`EngineServer`) keeps one warm engine behind a Unix socket and
+coalesces identical submissions across clients; setting
+``$REPRO_ENGINE_SOCKET`` routes any engine's batches through it.
 See ``docs/engine.md`` for the full tour.
 
 Quickstart::
@@ -33,9 +36,19 @@ from .backends import (
     get_backend,
     register_backend,
 )
-from .cache import CACHE_ENV_VAR, ResultCache, cache_root
+from .cache import (
+    CACHE_ENV_VAR,
+    CACHE_MAX_BYTES_ENV_VAR,
+    CacheGcReport,
+    CacheStats,
+    ResultCache,
+    cache_root,
+)
+from .client import EngineClient, EngineClientError
 from .job import CACHE_SCHEMA_VERSION, EngineJob, NetworkJob, SimJob, feed_hash, job_key
+from .protocol import ENGINE_SOCKET_ENV, PROTOCOL_VERSION, ProtocolError
 from .scheduler import (
+    EngineMetrics,
     EngineStats,
     SimEngine,
     configure_default_engine,
@@ -43,12 +56,23 @@ from .scheduler import (
     engine_context,
     reset_default_engine,
 )
+from .server import EngineServer, serve
 
 __all__ = [
     "CACHE_ENV_VAR",
+    "CACHE_MAX_BYTES_ENV_VAR",
     "CACHE_SCHEMA_VERSION",
+    "CacheGcReport",
+    "CacheStats",
+    "ENGINE_SOCKET_ENV",
+    "EngineClient",
+    "EngineClientError",
     "EngineJob",
+    "EngineMetrics",
+    "EngineServer",
     "EngineStats",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
     "FastBackend",
     "NetworkJob",
     "ReferenceBackend",
@@ -68,4 +92,5 @@ __all__ = [
     "job_key",
     "register_backend",
     "reset_default_engine",
+    "serve",
 ]

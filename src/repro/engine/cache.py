@@ -21,18 +21,37 @@ Properties the test suite relies on:
   str fields plus exact integer matrices, all of which ``.npz`` preserves
   bit-for-bit, so a cache hit is indistinguishable from a cold run;
 * **atomic writes** — entries are written to a temp file and
-  ``os.replace``d into place, so concurrent workers never observe a
+  ``os.replace``d into place, so concurrent readers never observe a
   partial entry;
 * **self-invalidation** — the schema version participates in the job key
   and unreadable entries are treated as misses (and removed), so stale
   or corrupt files can only cost a re-simulation, never wrong results.
+
+Since the serve-mode daemon made the store a genuinely *shared* resource
+(many client processes and one resident server over a single directory),
+the cache is additionally concurrency-safe:
+
+* **per-shard advisory locks** — every mutation (``store``, ``clear``,
+  ``gc``, corrupt-entry deletion) holds an ``fcntl`` lock on the
+  two-hex-digit shard it touches, so writers never trample each other's
+  temp files and ``clear()`` under concurrent writers never raises;
+* **validated probes** — :meth:`ResultCache.has` is a size-and-magic
+  check, so a zero-byte or truncated entry (a writer killed mid-write)
+  probes as a miss instead of inflating recall counts;
+* **garbage collection** — :meth:`ResultCache.gc` sweeps orphaned
+  ``.tmp`` files (safe under the shard lock: a live writer would be
+  holding it) and optionally enforces a size-bounded LRU eviction policy
+  (recency = entry mtime, refreshed on every cache hit).
 """
 
 from __future__ import annotations
 
+import fcntl
 import os
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Optional
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -42,10 +61,78 @@ from .job import EngineJob
 #: trained-model cache in :mod:`repro.experiments.common`).
 CACHE_ENV_VAR = "REPRO_CACHE"
 
+#: Environment variable providing the default ``gc`` size bound
+#: (bytes; unset means "no eviction unless asked").
+CACHE_MAX_BYTES_ENV_VAR = "REPRO_CACHE_MAX_BYTES"
+
+#: Every valid entry is a ``.npz`` — a zip archive — and zip archives
+#: start with the local-file-header magic.  A zero-byte or truncated
+#: file cannot match.
+_NPZ_MAGIC = b"PK\x03\x04"
+
+#: Smallest conceivable valid entry (an empty zip's end-of-central-
+#: directory record is 22 bytes; real entries always carry ``__kind__``).
+_MIN_ENTRY_BYTES = 23
+
+#: Per-shard lock file name (dot-prefixed: invisible to the ``*.npz``
+#: globs and to the ``.*.tmp`` orphan sweep).
+_LOCK_FILE = ".lock"
+
 
 def cache_root() -> Path:
     """Root of the repo-local on-disk cache (``$REPRO_CACHE`` or ``.cache``)."""
     return Path(os.environ.get(CACHE_ENV_VAR, Path(__file__).resolve().parents[3] / ".cache"))
+
+
+def parse_byte_count(text: str) -> int:
+    """A byte bound as humans write it: ``2000000000`` or ``2e9``."""
+    try:
+        value = int(float(text))
+    except ValueError:
+        raise ValueError(f"not a byte count: {text!r}") from None
+    if value < 0:
+        raise ValueError(f"byte count must be >= 0, got {text!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """One ``stats()`` snapshot of the store (also the ``cache stats`` CLI)."""
+
+    entries: int
+    bytes: int
+    shards: int
+    tmp_files: int
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def describe(self) -> str:
+        return (
+            f"{self.entries} entrie(s), {self.bytes} byte(s) across "
+            f"{self.shards} shard(s), {self.tmp_files} orphaned tmp file(s)"
+        )
+
+
+@dataclass(frozen=True)
+class CacheGcReport:
+    """What one ``gc()`` pass did (also the ``cache gc`` CLI / daemon verb)."""
+
+    tmp_removed: int
+    evicted: int
+    #: Entries / bytes remaining after the pass.
+    entries: int
+    bytes: int
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def describe(self) -> str:
+        return (
+            f"removed {self.tmp_removed} orphaned tmp file(s), evicted "
+            f"{self.evicted} entrie(s); {self.entries} entrie(s) "
+            f"({self.bytes} bytes) remain"
+        )
 
 
 class ResultCache:
@@ -61,52 +148,120 @@ class ResultCache:
         """Cache-entry path for a job key (two-level fan-out by prefix)."""
         return self.root / key[:2] / f"{key}.npz"
 
+    def _shards(self) -> List[Path]:
+        try:
+            return sorted(p for p in self.root.iterdir() if p.is_dir())
+        except OSError:
+            return []
+
+    @contextmanager
+    def _shard_lock(self, shard: Path) -> Iterator[None]:
+        """Advisory exclusive lock on one shard directory.
+
+        Serializes mutations (store / clear / gc / corrupt-entry
+        deletion) per shard; reads stay lock-free — ``os.replace`` makes
+        a visible entry always whole.  The lock dies with its holder
+        (``flock`` is released by the kernel on process exit), so a
+        SIGKILLed writer can never wedge the store.
+        """
+        shard.mkdir(parents=True, exist_ok=True)
+        with open(shard / _LOCK_FILE, "wb") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
     def has(self, key: str) -> bool:
-        """Cheap existence probe (no deserialization, no validation).
+        """Validated existence probe (no deserialization).
 
         The campaign planner uses this to report how many shards a
-        resume will recall without paying a full ``load`` per probe; an
-        unreadable entry still resolves as a miss at ``load`` time.
+        resume will recall without paying a full ``load`` per probe, so
+        it must not report a torn entry as a hit: the probe checks the
+        entry's size and zip magic bytes, which a zero-byte or
+        truncated-at-the-start file (a writer killed mid-``store``, a
+        full disk) cannot satisfy.  An entry corrupted *past* its header
+        still resolves as a miss at ``load`` time.
         """
-        return self.path_for(key).exists()
+        path = self.path_for(key)
+        try:
+            if path.stat().st_size < _MIN_ENTRY_BYTES:
+                return False
+            with open(path, "rb") as handle:
+                return handle.read(len(_NPZ_MAGIC)) == _NPZ_MAGIC
+        except OSError:
+            return False
 
     def load(self, key: str, job: EngineJob):
         """Return the cached result for ``key``, or None on a miss.
 
         ``job`` supplies the deserializer and the expected kind tag.
         Unreadable, schema-incompatible or kind-mismatched entries are
-        deleted and treated as misses.
+        deleted and treated as misses.  A successful load refreshes the
+        entry's mtime — the recency signal ``gc``'s LRU eviction sorts
+        by.
         """
         path = self.path_for(key)
-        if not path.exists():
-            return None
         try:
-            with np.load(path, allow_pickle=False) as data:
-                # Entries written before job kinds existed carry no tag;
-                # they are all SimJob results.
-                kind = str(data["__kind__"]) if "__kind__" in data else "sim"
-                if kind != job.kind:
-                    raise ValueError(f"kind mismatch: entry {kind!r}, job {job.kind!r}")
-                return job.deserialize_result(data)
-        except Exception:
-            path.unlink(missing_ok=True)
+            handle = open(path, "rb")
+        except OSError:
             return None
+        with handle:
+            try:
+                with np.load(handle, allow_pickle=False) as data:
+                    # Entries written before job kinds existed carry no
+                    # tag; they are all SimJob results.
+                    kind = str(data["__kind__"]) if "__kind__" in data else "sim"
+                    if kind != job.kind:
+                        raise ValueError(
+                            f"kind mismatch: entry {kind!r}, job {job.kind!r}"
+                        )
+                    result = job.deserialize_result(data)
+            except Exception:
+                self._discard_corrupt(path, os.fstat(handle.fileno()))
+                return None
+        try:
+            os.utime(path)  # LRU touch; racing with eviction is benign
+        except OSError:
+            pass
+        return result
+
+    def _discard_corrupt(self, path: Path, read_stat: os.stat_result) -> None:
+        """Delete a corrupt entry — unless a writer already replaced it.
+
+        Guarded by the shard lock and an inode comparison: between our
+        failed read and this deletion, a concurrent ``store`` may have
+        atomically swapped a *valid* entry into place, which a blind
+        unlink would destroy.
+        """
+        with self._shard_lock(path.parent):
+            try:
+                current = os.stat(path)
+            except OSError:
+                return
+            if (current.st_ino, current.st_dev) == (read_stat.st_ino, read_stat.st_dev):
+                path.unlink(missing_ok=True)
 
     def store(self, key: str, job: EngineJob, result) -> Path:
-        """Atomically persist ``result`` under ``key``; returns the path."""
+        """Atomically persist ``result`` under ``key``; returns the path.
+
+        The whole tmp-write + rename runs under the shard lock, which is
+        what licenses ``gc``'s orphan sweep: any ``.tmp`` visible while
+        holding the lock belongs to a dead writer.
+        """
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         arrays = dict(job.serialize_result(result))
         arrays["__kind__"] = np.array(job.kind)
         # ".tmp" suffix (no ".npz") keeps in-flight writes invisible to
         # the "*/*.npz" globs used by __len__/clear().
         tmp = path.parent / f".{key}.{os.getpid()}.tmp"
-        try:
-            with open(tmp, "wb") as handle:
-                np.savez_compressed(handle, **arrays)
-            os.replace(tmp, path)
-        finally:
-            tmp.unlink(missing_ok=True)
+        with self._shard_lock(path.parent):
+            try:
+                with open(tmp, "wb") as handle:
+                    np.savez_compressed(handle, **arrays)
+                os.replace(tmp, path)
+            finally:
+                tmp.unlink(missing_ok=True)
         return path
 
     # ------------------------------------------------------------------ #
@@ -114,9 +269,87 @@ class ResultCache:
         return sum(1 for _ in self.root.glob("*/*.npz"))
 
     def clear(self) -> int:
-        """Delete every cached entry; returns the number removed."""
+        """Delete every cached entry; returns the number removed.
+
+        Safe under concurrent writers: each shard is cleared under its
+        lock, and entries that vanish mid-walk (another ``clear``, an
+        eviction) are skipped, never raised on.
+        """
         removed = 0
-        for entry in self.root.glob("*/*.npz"):
-            entry.unlink(missing_ok=True)
-            removed += 1
+        for shard in self._shards():
+            with self._shard_lock(shard):
+                for entry in shard.glob("*.npz"):
+                    try:
+                        entry.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
         return removed
+
+    def stats(self) -> CacheStats:
+        """Entry/byte/shard/orphan counts (the ``cache stats`` verb)."""
+        entries = total = tmp_files = 0
+        shards = self._shards()
+        for shard in shards:
+            for entry in shard.glob("*.npz"):
+                try:
+                    total += entry.stat().st_size
+                    entries += 1
+                except OSError:
+                    pass
+            tmp_files += sum(1 for _ in shard.glob(".*.tmp"))
+        return CacheStats(
+            entries=entries, bytes=total, shards=len(shards), tmp_files=tmp_files
+        )
+
+    def gc(self, max_bytes: Optional[int] = None) -> CacheGcReport:
+        """Sweep orphaned temp files; optionally enforce a size bound.
+
+        * **Orphan sweep** — any ``.tmp`` file observed while holding
+          its shard's lock was left by a writer that died mid-``store``
+          (live writers hold the lock across the whole tmp-write +
+          rename), so it is removed unconditionally.
+        * **LRU eviction** — when ``max_bytes`` is given (default:
+          ``$REPRO_CACHE_MAX_BYTES``, unset = unbounded), entries are
+          evicted oldest-mtime-first until the store fits.  ``load``
+          refreshes mtime on every hit, so recency tracks use, not
+          creation.  Evicting a live entry only ever costs a
+          re-simulation.
+        """
+        if max_bytes is None:
+            raw = os.environ.get(CACHE_MAX_BYTES_ENV_VAR)
+            max_bytes = parse_byte_count(raw) if raw else None
+        tmp_removed = 0
+        entries: List[Tuple[float, int, Path]] = []
+        for shard in self._shards():
+            with self._shard_lock(shard):
+                for tmp in shard.glob(".*.tmp"):
+                    try:
+                        tmp.unlink()
+                        tmp_removed += 1
+                    except OSError:
+                        pass
+            for entry in shard.glob("*.npz"):
+                try:
+                    st = entry.stat()
+                except OSError:
+                    continue
+                entries.append((st.st_mtime, st.st_size, entry))
+        total = sum(size for _, size, _ in entries)
+        count = len(entries)
+        evicted = 0
+        if max_bytes is not None and total > max_bytes:
+            for _, size, path in sorted(entries, key=lambda e: (e[0], str(e[2]))):
+                if total <= max_bytes:
+                    break
+                with self._shard_lock(path.parent):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        continue
+                total -= size
+                count -= 1
+                evicted += 1
+        return CacheGcReport(
+            tmp_removed=tmp_removed, evicted=evicted, entries=count, bytes=total
+        )

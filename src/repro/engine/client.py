@@ -1,0 +1,209 @@
+"""Client side of the serve-mode engine daemon.
+
+:class:`EngineClient` speaks the :mod:`repro.engine.protocol` framing to
+a ``read-repro serve`` daemon over its Unix socket.  The scheduler uses
+it transparently (``$REPRO_ENGINE_SOCKET`` routing in
+:meth:`~repro.engine.scheduler.SimEngine.run_many` /
+:meth:`~repro.engine.scheduler.SimEngine.run_stream`); the CLI's
+``ping`` and the daemon lifecycle tests use it directly.
+
+Every failure mode — no socket file, nobody listening, a daemon that
+died mid-conversation, a malformed frame — surfaces as
+:class:`EngineClientError`, whose ``partial`` flag tells the scheduler
+whether any stream result was already delivered (deliveries make a
+silent in-process fallback unsafe: the caller's ``on_result`` hooks
+would replay).
+"""
+
+from __future__ import annotations
+
+import socket
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from .job import EngineJob
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_result,
+    encode_jobs,
+    recv_message,
+    send_message,
+)
+
+#: How long `connect()` may take before the daemon counts as absent.
+DEFAULT_CONNECT_TIMEOUT = 5.0
+
+
+class EngineClientError(ReproError):
+    """The daemon is unreachable, died mid-request, or answered garbage."""
+
+    def __init__(self, message: str, partial: bool = False):
+        super().__init__(message)
+        #: True when stream results were already delivered to the caller
+        #: before the failure — the scheduler must not silently rerun.
+        self.partial = partial
+
+
+class EngineClient:
+    """One daemon address; each request opens its own connection."""
+
+    def __init__(
+        self,
+        socket_path: str,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+    ):
+        self.socket_path = str(socket_path)
+        self.connect_timeout = connect_timeout
+
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def _connect(self) -> Iterator[socket.socket]:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.settimeout(self.connect_timeout)
+            try:
+                sock.connect(self.socket_path)
+            except OSError as exc:
+                raise EngineClientError(
+                    f"cannot connect to engine daemon at {self.socket_path}: {exc}"
+                ) from None
+            # Requests may legitimately block for as long as a cold
+            # simulation takes; only the connect is deadline-bound.
+            sock.settimeout(None)
+            yield sock
+        finally:
+            sock.close()
+
+    def _request(
+        self, header: Dict[str, object], blobs: Sequence[bytes] = ()
+    ) -> Tuple[Dict[str, object], List[bytes]]:
+        """One verb round trip: connect, send, read the single reply."""
+        with self._connect() as sock:
+            try:
+                send_message(sock, header, blobs)
+                reply, reply_blobs = recv_message(sock)
+            except (OSError, EOFError, ProtocolError) as exc:
+                raise EngineClientError(
+                    f"engine daemon request {header.get('verb')!r} failed: {exc}"
+                ) from None
+        if not reply.get("ok", False):
+            raise EngineClientError(
+                f"engine daemon rejected {header.get('verb')!r}: "
+                f"{reply.get('error', 'unknown error')}"
+            )
+        return reply, reply_blobs
+
+    # ------------------------------------------------------------------ #
+    def ping(self) -> Dict[str, object]:
+        """Liveness + protocol handshake; raises unless compatible."""
+        reply, _ = self._request({"verb": "ping"})
+        version = reply.get("protocol")
+        if version != PROTOCOL_VERSION:
+            raise EngineClientError(
+                f"engine daemon speaks protocol {version}, "
+                f"this client speaks {PROTOCOL_VERSION}"
+            )
+        return reply
+
+    def status(self) -> Dict[str, object]:
+        return self._request({"verb": "status"})[0]
+
+    def metrics(self) -> Dict[str, object]:
+        return self._request({"verb": "metrics"})[0]
+
+    def shutdown(self) -> Dict[str, object]:
+        """Ask the daemon to stop accepting and exit its serve loop."""
+        return self._request({"verb": "shutdown"})[0]
+
+    def cache_stats(self) -> Dict[str, object]:
+        return self._request({"verb": "cache_stats"})[0]
+
+    def cache_gc(self, max_bytes: Optional[int] = None) -> Dict[str, object]:
+        header: Dict[str, object] = {"verb": "cache_gc"}
+        if max_bytes is not None:
+            header["max_bytes"] = int(max_bytes)
+        return self._request(header)[0]
+
+    # ------------------------------------------------------------------ #
+    def submit(
+        self, jobs: Sequence[EngineJob]
+    ) -> Tuple[List[object], Dict[str, object]]:
+        """Batch execution: results in submission order + counter delta.
+
+        The mirror of :meth:`SimEngine.run_many`: one result per
+        submitted job (a list of per-member results for a
+        :class:`~repro.engine.job.NetworkJob`), decoded through each
+        job's own cache deserializer.
+        """
+        jobs = list(jobs)
+        reply, blobs = self._request(
+            {"verb": "submit", "mode": "batch", "n_jobs": len(jobs)},
+            [encode_jobs(jobs)],
+        )
+        if len(blobs) != len(jobs):
+            raise EngineClientError(
+                f"daemon returned {len(blobs)} result blob(s) for {len(jobs)} job(s)"
+            )
+        results = [decode_result(job, blob) for job, blob in zip(jobs, blobs)]
+        return results, dict(reply.get("stats", {}))
+
+    def submit_stream(
+        self,
+        jobs: Sequence[EngineJob],
+        on_result: Optional[Callable[[int, object], Optional[Iterable[int]]]] = None,
+    ) -> Tuple[List[Optional[object]], Dict[str, object]]:
+        """Streamed execution: the mirror of :meth:`SimEngine.run_stream`.
+
+        Result frames arrive in the daemon's completion order (cache
+        hits first); ``on_result`` fires per frame and its returned
+        indices travel back as a cancellation message while the rest of
+        the stream is still in flight.  Cancelled jobs come back None.
+        """
+        jobs = list(jobs)
+        results: List[Optional[object]] = [None] * len(jobs)
+        delivered = 0
+        with self._connect() as sock:
+            try:
+                send_message(
+                    sock,
+                    {"verb": "submit", "mode": "stream", "n_jobs": len(jobs)},
+                    [encode_jobs(jobs)],
+                )
+                while True:
+                    header, blobs = recv_message(sock)
+                    kind = header.get("type")
+                    if kind == "result":
+                        index = int(header["index"])
+                        if not 0 <= index < len(jobs) or len(blobs) != 1:
+                            raise ProtocolError(
+                                f"bad result frame (index {index}, {len(blobs)} blobs)"
+                            )
+                        result = decode_result(jobs[index], blobs[0])
+                        results[index] = result
+                        delivered += 1
+                        if on_result is not None:
+                            requested = on_result(index, result)
+                            if requested:
+                                send_message(
+                                    sock,
+                                    {
+                                        "type": "cancel",
+                                        "indices": [int(j) for j in requested],
+                                    },
+                                )
+                    elif kind == "done":
+                        return results, dict(header.get("stats", {}))
+                    elif kind == "error":
+                        raise EngineClientError(
+                            f"engine daemon stream failed: "
+                            f"{header.get('error', 'unknown error')}",
+                            partial=delivered > 0,
+                        )
+                    else:
+                        raise ProtocolError(f"unexpected stream frame {kind!r}")
+            except (OSError, EOFError, ProtocolError) as exc:
+                raise EngineClientError(
+                    f"engine daemon stream failed: {exc}", partial=delivered > 0
+                ) from None

@@ -250,6 +250,20 @@ def run_campaign(
         for cell in cells:
             if not cell.fault_free:
                 cell.shards = plan_shards(cell.job, shard_trials)
+        # How many planned shards a resume will recall without
+        # computing.  has() is a validated probe (size + magic bytes),
+        # so a writer killed mid-store never inflates this count with a
+        # torn entry that load() would then reject.
+        recalled_shards = (
+            sum(
+                1
+                for cell in cells
+                for shard in cell.shards
+                if engine.cache.has(shard.key())
+            )
+            if engine.cache is not None
+            else 0
+        )
         flat: List[Tuple[int, int]] = []   # stream index -> (cell, shard)
         for round_idx in itertools.count():
             layer = [
@@ -361,6 +375,7 @@ def run_campaign(
             "computed": stats.misses,
             "cancelled_shards": stats.cancelled,
             "executed_shards": sum(len(cell.results) for cell in cells),
+            "recalled_shards": recalled_shards,
         },
     }
 

@@ -150,3 +150,23 @@ class TestCli:
 
         with pytest.raises(SystemExit):
             main(["fig99"])
+
+    def test_cache_gc_accepts_scientific_notation(self, capsys, tmp_path, monkeypatch):
+        # The docs advertise `cache gc --max-bytes 2e9`; the parser must
+        # take byte bounds as humans write them, not just plain ints.
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        assert main(["cache", "gc", "--max-bytes", "2e9"]) == 0
+        assert "evicted 0 entrie(s)" in capsys.readouterr().out
+        with pytest.raises(SystemExit):
+            main(["cache", "gc", "--max-bytes", "lots"])
+
+    def test_parse_byte_count(self):
+        from repro.engine.cache import parse_byte_count
+
+        assert parse_byte_count("2e9") == 2_000_000_000
+        assert parse_byte_count("1048576") == 1048576
+        for bad in ("lots", "-1", ""):
+            with pytest.raises(ValueError):
+                parse_byte_count(bad)
