@@ -7,8 +7,69 @@ registers the ``--backend`` / ``--update-golden`` options), a bare
 module it resolves to.
 """
 
+import json
 import os
+import platform
 import time
+from contextlib import contextmanager
+from pathlib import Path
+
+
+def bench_host():
+    """The shared ``host`` block of every ``BENCH_*.json`` record."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+
+class BenchRecorder:
+    """Uniform writer for the repo-root ``BENCH_*.json`` records.
+
+    Every bench module used to hand-roll its own JSON emitter; this
+    class owns the shared layout — ``schema`` / ``host`` / ``command``
+    header, one key per recorded section, and a ``phases_wall_clock_s``
+    block fed by the :meth:`phase` context manager — so the engine and
+    injection records stay field-compatible and CI can consume both with
+    one parser.
+
+    The first :meth:`write` of a pytest session starts a fresh file
+    (a full run never carries sections over from an older snapshot);
+    later writes in the same session merge into the existing record.
+    """
+
+    def __init__(self, path, command):
+        self.path = Path(path)
+        self.command = command
+        self.phases = {}
+        self._sections = set()
+
+    @contextmanager
+    def phase(self, name):
+        """Record one named phase's wall clock into the shared header."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.phases[name] = round(time.perf_counter() - start, 4)
+
+    def write(self, section, payload):
+        """Merge one section (plus the shared header) into the record."""
+        data = {}
+        if self._sections and self.path.exists():
+            try:
+                data = json.loads(self.path.read_text())
+            except json.JSONDecodeError:
+                data = {}
+        self._sections.add(section)
+        data["schema"] = 1
+        data["host"] = bench_host()
+        data["command"] = self.command
+        if self.phases:
+            data.setdefault("phases_wall_clock_s", {}).update(self.phases)
+        data[section] = payload
+        self.path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def env_float(name, default):

@@ -22,8 +22,6 @@ The asserted bounds are CPU-count independent (single-process wall-clock
 ratios, interleaved best-of-N to damp shared-runner noise).
 """
 
-import json
-import os
 import threading
 from pathlib import Path
 
@@ -33,7 +31,7 @@ from repro.core import MappingStrategy
 from repro.engine import EngineClient, EngineServer, NetworkJob, SimEngine, SimJob
 from repro.hw.variations import PAPER_CORNERS
 
-from bench_util import env_float, run_once, timed, timed_interleaved
+from bench_util import BenchRecorder, env_float, run_once, timed, timed_interleaved
 
 #: Machine-readable bench record, at the repository root.
 BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
@@ -69,28 +67,14 @@ MICRO_STREAM_SHAPES = (
 )
 
 
-_SESSION_SECTIONS = set()
-
-
-def record_bench(section, payload):
-    """Merge one section into ``BENCH_engine.json``.
-
-    The first record of a pytest session starts a fresh file, so a full
-    run never carries sections over from an older snapshot; within one
-    session the three bench tests merge into a single record.
-    """
-    data = {}
-    if _SESSION_SECTIONS and BENCH_JSON.exists():
-        try:
-            data = json.loads(BENCH_JSON.read_text())
-        except json.JSONDecodeError:
-            data = {}
-    _SESSION_SECTIONS.add(section)
-    data["schema"] = 1
-    data.setdefault("host", {"cpu_count": os.cpu_count()})
-    data["command"] = "PYTHONPATH=src python -m pytest benchmarks/test_bench_engine.py -q -s"
-    data[section] = payload
-    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+#: Shared-layout writer (see :class:`bench_util.BenchRecorder`): the
+#: three bench tests of a session merge into one record, and the first
+#: write starts a fresh file.
+_RECORDER = BenchRecorder(
+    BENCH_JSON,
+    "PYTHONPATH=src python -m pytest benchmarks/test_bench_engine.py -q -s",
+)
+record_bench = _RECORDER.write
 
 
 def micro_stream_jobs(seed=7):

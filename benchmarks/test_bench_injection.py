@@ -1,26 +1,39 @@
-"""Bench: the trial-batched injection runtime vs the serial reference.
+"""Bench: the pruning injection runtime vs its two predecessors.
 
 Measures the wall clock of a micro-scale fig10-shaped injection campaign
 — both fig10 networks, one :class:`~repro.faults.InjectionJob` per
-(strategy x corner) cell with full per-layer BER tables — executed twice
-through the same engine: once on the ``serial`` reference loop and once
-on the ``batched`` runtime (stacked trial forward, shared fault-free
-prefix, exact channels-last BLAS GEMMs, vectorized flip draws).  Both
-legs produce bit-identical results (asserted), so the ratio is a pure
-runtime comparison.
+(strategy x corner) cell — executed three times through the same engine:
 
-The asserted floor (default 5x, ``$REPRO_BENCH_MIN_INJECTION_SPEEDUP``
-overrides on noisy hosts) is measured with interleaved best-of-N timing
-— this reference host is a 1-core runner with ±10 % noise — and one
-extended re-measure before declaring a regression.  The measurement is
-recorded in a machine-readable ``BENCH_injection.json`` at the
-repository root (CI uploads it next to ``BENCH_engine.json``).
+* ``serial`` — the per-trial reference loop (the paper's protocol);
+* ``batched-noprune`` — the stacked trial forward with masked-trial
+  pruning disabled (``$REPRO_INJECTION_PRUNE=0``): the previous PR's
+  runtime, the baseline this PR's tentpole is measured against;
+* ``pruned`` — the full runtime: stacked forward plus masked-trial
+  pruning and effective-flip dedup.
 
-The serial leg is the *current* reference runtime, which already
-benefits from this PR's shared improvements (memoized lowered weights,
-count-based accuracy accumulation, per-campaign MSB memoization) — the
-recorded speedup therefore *understates* the gain over the pre-PR
-per-trial loop.
+All three produce bit-identical results (asserted), so the ratios are
+pure runtime comparisons.
+
+The BER tables are corner-scaled the way a real fig10 campaign is: the
+paper's Eq. 1 corners span ~100 orders of magnitude (Ideal ~1e-112,
+VT-3% ~1e-10, VT-5% ~5e-5, Aging&VT-5% up to 0.24), so each bench corner
+applies one decade factor to the drawn per-layer tables.  High-BER cells
+keep every trial diverged (pruning can only help the other corners);
+low-BER cells are where masked trials collapse onto the fault-free lane
+— exactly the regime that dominates a production campaign's cell grid.
+
+Both asserted floors are measured with interleaved best-of-N timing —
+this reference host is a 1-core runner with ±10 % noise — with one
+extended re-measure before declaring a regression:
+
+* pruned vs serial: default 12x, ``$REPRO_BENCH_MIN_INJECTION_SPEEDUP``;
+* pruned vs batched-noprune: default 2x, ``$REPRO_BENCH_MIN_PRUNE_SPEEDUP``.
+
+The measurement lands in ``BENCH_injection.json`` at the repository root
+(shared layout with ``BENCH_engine.json`` — see
+:class:`bench_util.BenchRecorder`), including the campaign's
+pruned/deduped trial counters, which must be nonzero for the pruning
+floor to mean anything.
 
 Run it with::
 
@@ -28,7 +41,6 @@ Run it with::
 """
 
 import dataclasses
-import json
 import os
 from pathlib import Path
 
@@ -37,25 +49,40 @@ import numpy as np
 from repro.engine import SimEngine
 from repro.experiments.common import SCALES, get_bundle
 from repro.faults import injection_job_for_bundle
+from repro.nn.quantize import INJECTION_PRUNE_ENV
 
-from bench_util import env_float, run_once, timed_interleaved
+from bench_util import BenchRecorder, env_float, run_once, timed_interleaved
 
 #: Machine-readable bench record, at the repository root.
 BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_injection.json"
 
-#: Asserted floor on the batched runtime's speedup over the serial
+_RECORDER = BenchRecorder(
+    BENCH_JSON,
+    "PYTHONPATH=src python -m pytest benchmarks/test_bench_injection.py -q -s",
+)
+
+#: Asserted floor on the pruned runtime's speedup over the serial
 #: reference.  Overridable for noisy shared hosts.
-MIN_INJECTION_SPEEDUP = env_float("REPRO_BENCH_MIN_INJECTION_SPEEDUP", 5.0)
+MIN_INJECTION_SPEEDUP = env_float("REPRO_BENCH_MIN_INJECTION_SPEEDUP", 12.0)
+
+#: Asserted floor on the pruned runtime's speedup over the pruning-
+#: disabled stacked runtime (the previous PR's baseline).
+MIN_PRUNE_SPEEDUP = env_float("REPRO_BENCH_MIN_PRUNE_SPEEDUP", 2.0)
 
 #: The two networks of Fig. 10.
 RECIPES = ("vgg16_cifar10", "resnet18_cifar10")
 
-#: (strategy, corner-seed) cells per network.  Three corners of the six
-#: keep the bench under a minute; the serial/batched ratio is
-#: cell-count-invariant (every cell carries a full per-layer BER table),
-#: so this subset does not bias the measured speedup.
-N_STRATEGIES = 3
-N_CORNERS = 3
+#: Bench corners as (BER decade factor, strategy cells): each factor
+#: scales the drawn per-layer BER tables — a compressed stand-in for the
+#: Eq. 1 corner spread (see the module docstring).  The first corner
+#: keeps every trial diverged; the others are the masked/duplicate
+#: regime pruning exists for (the paper's VT-3% corner sits at ~1e-10,
+#: far below the last factor).  The cell weighting mirrors fig10's grid,
+#: where the always-diverged Aging&VT corners are the minority.
+CORNERS = ((1.0, 2), (1e-5, 3), (1e-9, 3))
+
+#: Trials per cell.
+N_TRIALS = 4
 
 
 def campaign_jobs(runtime):
@@ -66,10 +93,10 @@ def campaign_jobs(runtime):
         bundle = get_bundle(recipe, scale)
         layers = [qc.name for qc in bundle.qnet.qconvs()]
         rng = np.random.default_rng(5)
-        for corner in range(N_CORNERS):
-            for strategy in range(N_STRATEGIES):
+        for corner, (ber_scale, n_strategies) in enumerate(CORNERS):
+            for strategy in range(n_strategies):
                 bers = {
-                    name: float(ber)
+                    name: float(ber) * ber_scale
                     for name, ber in zip(layers, rng.uniform(1e-4, 3e-3, len(layers)))
                 }
                 jobs.append(
@@ -78,79 +105,126 @@ def campaign_jobs(runtime):
                             bundle, bers, base_seed=100 * corner + strategy
                         ),
                         runtime=runtime,
+                        n_trials=N_TRIALS,
                         label=f"bench:{recipe}:s{strategy}:c{corner}",
                     )
                 )
     return jobs
 
 
-def test_bench_injection_batched_vs_serial(benchmark):
+def _with_prune(enabled, fn):
+    """Run ``fn`` under an explicit ``$REPRO_INJECTION_PRUNE`` setting."""
+    before = os.environ.get(INJECTION_PRUNE_ENV)
+    os.environ[INJECTION_PRUNE_ENV] = "1" if enabled else "0"
+    try:
+        return fn()
+    finally:
+        if before is None:
+            os.environ.pop(INJECTION_PRUNE_ENV, None)
+        else:
+            os.environ[INJECTION_PRUNE_ENV] = before
+
+
+def test_bench_injection_pruned_vs_baselines(benchmark):
     engine = SimEngine(use_cache=False)
     serial_jobs = campaign_jobs("serial")
     batched_jobs = campaign_jobs("batched")
-    # Warm both legs once: trains/loads the bundles, fills the per-process
-    # operand caches, and proves bit-identity of the two runtimes.
-    serial_results = engine.run_many(serial_jobs)
-    batched_results = engine.run_many(batched_jobs)
-    for s, b in zip(serial_results, batched_results):
-        assert s.trial_accuracies == b.trial_accuracies
-        assert s.flips_injected == b.flips_injected
+    # Warm all three legs once: trains/loads the bundles, fills the
+    # per-process operand caches, and proves bit-identity of the three
+    # runtimes on the full corner-decade grid.
+    with _RECORDER.phase("warm"):
+        serial_results = engine.run_many(serial_jobs)
+        noprune_results = _with_prune(False, lambda: engine.run_many(batched_jobs))
+        pruned_results = _with_prune(True, lambda: engine.run_many(batched_jobs))
+    for s, b, p in zip(serial_results, noprune_results, pruned_results):
+        assert s.trial_accuracies == b.trial_accuracies == p.trial_accuracies
+        assert s.flips_injected == b.flips_injected == p.flips_injected
+        assert s.trial_correct == b.trial_correct == p.trial_correct
+
+    # The pruning floor is only meaningful if pruning actually fired on
+    # this grid: re-run the pruned leg and check its counters.
+    engine.stats.trials_pruned = engine.stats.trials_deduped = 0
+    _with_prune(True, lambda: engine.run_many(batched_jobs))
+    trials_pruned = engine.stats.trials_pruned
+    trials_deduped = engine.stats.trials_deduped
+    assert trials_pruned + trials_deduped > 0, (
+        "the corner-decade grid produced no pruned or deduped trials; "
+        "the pruned-vs-noprune floor would measure nothing"
+    )
 
     contenders = [
         lambda: engine.run_many(serial_jobs),
-        lambda: engine.run_many(batched_jobs),
+        lambda: _with_prune(False, lambda: engine.run_many(batched_jobs)),
+        lambda: _with_prune(True, lambda: engine.run_many(batched_jobs)),
     ]
-    first_serial, first_batched = timed_interleaved(contenders, repeats=3)
-    t_serial, t_batched = first_serial, first_batched
+    with _RECORDER.phase("measure"):
+        first = timed_interleaved(contenders, repeats=3)
+    t_serial, t_noprune, t_pruned = first
     retry = None
-    if first_serial / first_batched < MIN_INJECTION_SPEEDUP:
+    if (
+        t_serial / t_pruned < MIN_INJECTION_SPEEDUP
+        or t_noprune / t_pruned < MIN_PRUNE_SPEEDUP
+    ):
         # One extended re-measure before declaring a regression: a single
         # noisy-neighbor blip on a shared runner can depress best-of-3.
         # Both measurements go into the bench record, so a floor trip in
         # CI shows whether the retry confirmed or refuted the first pass.
-        retry = timed_interleaved(contenders, repeats=4)
-        t_serial = min(first_serial, retry[0])
-        t_batched = min(first_batched, retry[1])
-    run_once(benchmark, engine.run_many, batched_jobs)
-    speedup = t_serial / t_batched
+        with _RECORDER.phase("remeasure"):
+            retry = timed_interleaved(contenders, repeats=4)
+        t_serial = min(t_serial, retry[0])
+        t_noprune = min(t_noprune, retry[1])
+        t_pruned = min(t_pruned, retry[2])
+    run_once(benchmark, lambda: _with_prune(True, lambda: engine.run_many(batched_jobs)))
+    speedup_serial = t_serial / t_pruned
+    speedup_noprune = t_noprune / t_pruned
 
-    record = {
-        "schema": 1,
-        "host": {"cpu_count": os.cpu_count()},
-        "command": (
-            "PYTHONPATH=src python -m pytest "
-            "benchmarks/test_bench_injection.py -q -s"
+    payload = {
+        "shape": (
+            "fig10 micro: one InjectionJob per (strategy x corner) cell, "
+            "full per-layer BER tables corner-scaled across decades, "
+            f"{N_TRIALS} trials per cell"
         ),
-        "campaign": {
-            "shape": "fig10 micro: one InjectionJob per (strategy x corner) "
-            "cell, full per-layer BER tables, n_trials per the micro scale",
-            "recipes": list(RECIPES),
-            "n_jobs": len(serial_jobs),
-        },
+        "recipes": list(RECIPES),
+        "corners": [{"ber_scale": s, "cells": n} for s, n in CORNERS],
+        "n_jobs": len(serial_jobs),
+        "trials_pruned": int(trials_pruned),
+        "trials_deduped": int(trials_deduped),
         "wall_clock_s": {
             "serial": round(t_serial, 4),
-            "batched": round(t_batched, 4),
+            "batched_noprune": round(t_noprune, 4),
+            "pruned": round(t_pruned, 4),
         },
-        "speedup_batched_vs_serial": round(speedup, 2),
-        "asserted_min_speedup": MIN_INJECTION_SPEEDUP,
+        "speedup_pruned_vs_serial": round(speedup_serial, 2),
+        "speedup_pruned_vs_noprune": round(speedup_noprune, 2),
+        "asserted_min_speedup_vs_serial": MIN_INJECTION_SPEEDUP,
+        "asserted_min_speedup_vs_noprune": MIN_PRUNE_SPEEDUP,
     }
     if retry is not None:
-        record["wall_clock_s_first_measure"] = {
-            "serial": round(first_serial, 4),
-            "batched": round(first_batched, 4),
+        payload["wall_clock_s_first_measure"] = {
+            "serial": round(first[0], 4),
+            "batched_noprune": round(first[1], 4),
+            "pruned": round(first[2], 4),
         }
-        record["wall_clock_s_retry_measure"] = {
+        payload["wall_clock_s_retry_measure"] = {
             "serial": round(retry[0], 4),
-            "batched": round(retry[1], 4),
+            "batched_noprune": round(retry[1], 4),
+            "pruned": round(retry[2], 4),
         }
-    BENCH_JSON.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    _RECORDER.write("campaign", payload)
     print()
     print(
         f"injection campaign ({len(serial_jobs)} jobs): serial {t_serial:.3f}s  "
-        f"batched {t_batched:.3f}s  speedup {speedup:.1f}x"
+        f"batched-noprune {t_noprune:.3f}s  pruned {t_pruned:.3f}s  "
+        f"({speedup_serial:.1f}x vs serial, {speedup_noprune:.1f}x vs noprune; "
+        f"{trials_pruned} pruned, {trials_deduped} deduped)"
     )
-    assert speedup >= MIN_INJECTION_SPEEDUP, (
-        f"batched injection runtime regressed: {speedup:.1f}x < "
+    assert speedup_serial >= MIN_INJECTION_SPEEDUP, (
+        f"pruned injection runtime regressed: {speedup_serial:.1f}x < "
         f"{MIN_INJECTION_SPEEDUP}x over the serial reference "
+        "(see BENCH_injection.json)"
+    )
+    assert speedup_noprune >= MIN_PRUNE_SPEEDUP, (
+        f"masked-trial pruning regressed: {speedup_noprune:.1f}x < "
+        f"{MIN_PRUNE_SPEEDUP}x over the pruning-disabled stacked runtime "
         "(see BENCH_injection.json)"
     )

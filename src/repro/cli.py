@@ -515,11 +515,20 @@ def _run_cache(args) -> int:
     """``read-repro cache stats|gc``: direct, lock-safe store maintenance."""
     from .engine import ResultCache
 
+    from .engine.arena import default_arena
+
     cache = ResultCache()
+    arena = default_arena()
     if args.cache_command == "stats":
         print(f"cache[{cache.root}]: {cache.stats().describe()}")
+        if arena is not None:
+            print(f"arena[{arena.root}]: {arena.stats().describe()}")
     else:
         print(f"cache[{cache.root}]: {cache.gc(max_bytes=args.max_bytes).describe()}")
+        if arena is not None:
+            # Reclaim operand-arena segments orphaned by killed workers
+            # alongside the result store's own orphan sweep.
+            print(f"arena[{arena.root}]: {arena.sweep().describe()}")
     return 0
 
 

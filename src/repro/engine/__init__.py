@@ -26,6 +26,19 @@ Quickstart::
     reports["Aging&VT-5%"].ter
 """
 
+from .arena import (
+    ARENA_DIR_ENV,
+    ARENA_GATE_ENV,
+    ArenaEntry,
+    ArenaStats,
+    ArenaSweepReport,
+    OperandArena,
+    arena_enabled,
+    arena_root,
+    default_arena,
+    reset_default_arena,
+    shutdown_arena,
+)
 from .backends import (
     FastBackend,
     ReferenceBackend,
@@ -59,6 +72,17 @@ from .scheduler import (
 from .server import EngineServer, serve
 
 __all__ = [
+    "ARENA_DIR_ENV",
+    "ARENA_GATE_ENV",
+    "ArenaEntry",
+    "ArenaStats",
+    "ArenaSweepReport",
+    "OperandArena",
+    "arena_enabled",
+    "arena_root",
+    "default_arena",
+    "reset_default_arena",
+    "shutdown_arena",
     "CACHE_ENV_VAR",
     "CACHE_MAX_BYTES_ENV_VAR",
     "CACHE_SCHEMA_VERSION",

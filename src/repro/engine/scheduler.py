@@ -74,8 +74,23 @@ def _execute_job(factory: Callable[[], SimulationBackend], job: EngineJob):
     operand pass, active-MSB tables — is memoized inside each worker so a
     grid of same-bundle jobs pays its setup once per worker, not once per
     job (mirroring ``SimJob.build_plan``'s plan memo).
+
+    Returns ``(result, counters)``: the runtime work-avoidance counters
+    (pruned/deduped trials, arena traffic) accumulated in this worker
+    while the job ran travel home with the result and fold into the
+    submitting engine's :class:`EngineMetrics`.
     """
-    return job.execute(factory)
+    _drained_counters()  # stray counters from before this job are not ours
+    result = job.execute(factory)
+    return result, _drained_counters()
+
+
+def _drained_counters() -> Dict[str, int]:
+    """Drain this process's injection-runtime counters (lazy import:
+    the faults package imports engine.job at module level)."""
+    from ..faults.injection_job import drain_runtime_counters
+
+    return drain_runtime_counters()
 
 
 def _fused_units(
@@ -144,6 +159,16 @@ class EngineMetrics:
     requests: int = 0
     #: Wall-clock seconds spent in those requests, cumulatively.
     latency_seconds: float = 0.0
+    #: Injection trials whose masked faults exited the stacked forward
+    #: early (the pruning runtime's per-checkpoint events).
+    trials_pruned: int = 0
+    #: Injection trials whose flip draws collapsed onto an
+    #: already-evaluated representative (zero-flip or duplicate draws).
+    trials_deduped: int = 0
+    #: Shared-memory operand arena traffic: segments attached instead of
+    #: rebuilt, and segments published by this process's jobs.
+    arena_hits: int = 0
+    arena_stores: int = 0
 
     @property
     def total(self) -> int:
@@ -158,6 +183,13 @@ class EngineMetrics:
             text += f", {self.coalesced} coalesced"
         if self.cancelled:
             text += f", {self.cancelled} cancelled"
+        if self.trials_pruned or self.trials_deduped:
+            text += (
+                f"; {self.trials_pruned} trial(s) pruned, "
+                f"{self.trials_deduped} deduped"
+            )
+        if self.arena_hits or self.arena_stores:
+            text += f"; arena: {self.arena_hits} hit(s), {self.arena_stores} store(s)"
         return text
 
     def as_dict(self) -> Dict[str, object]:
@@ -307,10 +339,22 @@ class SimEngine:
                 yield pool
 
     def close(self) -> None:
-        """Release the persistent pool (no-op without ``keep_pool``)."""
+        """Release the persistent pool (no-op without ``keep_pool``) and
+        this process's operand-arena leases.
+
+        Pool workers drop their own leases at exit (the arena's
+        ``atexit`` hook), so after the pool shutdown the follow-up sweep
+        reclaims every segment the engine's fan-out was keeping alive —
+        including segments leased by workers that died without running
+        ``atexit`` (SIGKILL), whose pid-named leases the sweep detects
+        as dead.
+        """
         if self._persistent_pool is not None:
             self._persistent_pool.shutdown()
             self._persistent_pool = None
+        from .arena import shutdown_arena
+
+        shutdown_arena()
 
     # ------------------------------------------------------------------ #
     def _remote_client(self) -> Optional[EngineClient]:
@@ -340,6 +384,11 @@ class SimEngine:
             RuntimeWarning,
             stacklevel=4,
         )
+
+    def _merge_counters(self, delta: Mapping[str, int]) -> None:
+        """Fold drained runtime counters (worker or inline) into stats."""
+        if delta:
+            self.stats.merge(delta)
 
     def _merge_remote(self, delta: Mapping[str, object], elapsed: float) -> None:
         """Fold one daemon response's counter delta into lifetime stats."""
@@ -474,14 +523,17 @@ class SimEngine:
                 }
                 for future in as_completed(futures):
                     idxs = futures[future]
+                    value, counters = future.result()
+                    self._merge_counters(counters)
                     if len(idxs) == 1:
-                        results[idxs[0]] = future.result()
+                        results[idxs[0]] = value
                     else:
-                        for i, result in zip(idxs, future.result()):
+                        for i, result in zip(idxs, value):
                             results[i] = result
         else:
             with warnings.catch_warnings():
                 warnings.simplefilter("ignore", MappingFallbackWarning)
+                _drained_counters()  # not ours: accumulated outside the engine
                 sim_pending = [i for i in pending if isinstance(jobs[i], SimJob)]
                 if len(sim_pending) > 1:
                     # Stack all missing simulations through one
@@ -496,6 +548,7 @@ class SimEngine:
                 else:
                     for i in pending:
                         results[i] = jobs[i].execute(factory)
+                self._merge_counters(_drained_counters())
 
         if any(jobs[i].kind == "sim" for i in pending):
             self.used_backends.add(self.backend_name)
@@ -611,7 +664,9 @@ class SimEngine:
                         self.stats.cancelled += 1
                         done[i] = True
                         continue
-                    record(i, future.result())
+                    value, counters = future.result()
+                    self._merge_counters(counters)
+                    record(i, value)
                     if cancel_requested:
                         for fut, j in futures.items():
                             if j in cancel_requested and not fut.done():
@@ -619,12 +674,14 @@ class SimEngine:
         else:
             with warnings.catch_warnings():
                 warnings.simplefilter("ignore", MappingFallbackWarning)
+                _drained_counters()  # not ours: accumulated outside the engine
                 for i in pending:
                     if i in cancel_requested:
                         self.stats.cancelled += 1
                         done[i] = True
                         continue
                     record(i, jobs[i].execute(factory))
+                self._merge_counters(_drained_counters())
 
         if any(jobs[i].kind == "sim" for i in executed):
             self.used_backends.add(self.backend_name)

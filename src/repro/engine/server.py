@@ -236,6 +236,14 @@ class EngineServer:
             raise ProtocolError("this daemon runs with the cache disabled")
         return cache
 
+    @staticmethod
+    def _arena_stats() -> Optional[Dict[str, object]]:
+        """Registry snapshot of the operand arena (None when disabled)."""
+        from .arena import default_arena
+
+        arena = default_arena()
+        return arena.stats().as_dict() if arena is not None else None
+
     def _status(self) -> Dict[str, object]:
         cache = self.engine.cache
         return {
@@ -247,6 +255,7 @@ class EngineServer:
             "inflight": len(self._inflight),
             "rss_kb": _rss_kb(),
             "cache": cache.stats().as_dict() if cache is not None else None,
+            "arena": self._arena_stats(),
         }
 
     def _metrics_dump(self) -> Dict[str, object]:
@@ -258,6 +267,7 @@ class EngineServer:
             "uptime_seconds": time.time() - self.started,
             "rss_kb": _rss_kb(),
             "cache": cache.stats().as_dict() if cache is not None else None,
+            "arena": self._arena_stats(),
         }
 
     # ------------------------------------------------------------------ #
@@ -324,6 +334,23 @@ class EngineServer:
         delta["backend"] = self.engine.backend_name
         return delta
 
+    def _run_counted(self, fn):
+        """Run one engine call under the run lock, capturing the runtime
+        work-avoidance counters (pruned/deduped trials, arena traffic)
+        it accumulated — the per-request delta the job-outcome counters
+        in ``_handle_batch``/``_handle_stream`` cannot see, because the
+        engine folds them straight into its lifetime stats."""
+        with self._run_lock:
+            before = self.engine.stats.snapshot()
+            value = fn()
+            diff = self.engine.stats.since(before)
+        return value, {
+            "trials_pruned": diff.trials_pruned,
+            "trials_deduped": diff.trials_deduped,
+            "arena_hits": diff.arena_hits,
+            "arena_stores": diff.arena_stores,
+        }
+
     # ------------------------------------------------------------------ #
     # submit: batch mode
     # ------------------------------------------------------------------ #
@@ -359,8 +386,9 @@ class EngineServer:
         )
         owned_jobs = [unique[key] for key in owned]
         try:
-            with self._run_lock:
-                owned_results = self.engine.run_many(owned_jobs)
+            owned_results, runtime_delta = self._run_counted(
+                lambda: self.engine.run_many(owned_jobs)
+            )
         except BaseException as exc:
             self._resolve(owned, error=exc)
             raise
@@ -384,6 +412,7 @@ class EngineServer:
                 "misses": len(owned) - probed_hits,
                 "deduped": sum(occurrences[key] - 1 for key in owned),
                 "coalesced": coalesced,
+                **runtime_delta,
             },
             time.perf_counter() - start,
         )
@@ -479,9 +508,11 @@ class EngineServer:
             return cancels
 
         error: Optional[BaseException] = None
+        runtime_delta: Dict[str, int] = {}
         try:
-            with self._run_lock:
-                self.engine.run_stream(owned_jobs, on_result)
+            _, runtime_delta = self._run_counted(
+                lambda: self.engine.run_stream(owned_jobs, on_result)
+            )
         except BaseException as exc:  # noqa: BLE001 — publish, then report
             error = exc
         # Anything we still own produced no result: cancelled (or the
@@ -505,6 +536,7 @@ class EngineServer:
                 "misses": len(owned) - probed_hits - len(cancelled_keys),
                 "cancelled": len(cancelled_indices),
                 "coalesced": sum(len(key_indices[key]) for key in waited),
+                **runtime_delta,
             },
             time.perf_counter() - start,
         )

@@ -376,6 +376,14 @@ def run_campaign(
             "cancelled_shards": stats.cancelled,
             "executed_shards": sum(len(cell.results) for cell in cells),
             "recalled_shards": recalled_shards,
+            # Work-avoidance counters of the pruning injection runtime
+            # and the shared-memory operand arena.  Volatile by nature:
+            # resumed runs recall shards from the cache and never
+            # re-execute the trials that produced these events.
+            "trials_pruned": stats.trials_pruned,
+            "trials_deduped": stats.trials_deduped,
+            "arena_hits": stats.arena_hits,
+            "arena_stores": stats.arena_stores,
         },
     }
 
@@ -434,6 +442,7 @@ def render(result: CampaignResult) -> str:
             ]
         )
     totals = result.manifest["totals"]
+    run = result.manifest["run"]
     status = "complete" if result.manifest["complete"] else "INCOMPLETE (resume to finish)"
     return (
         f"campaign {result.manifest['campaign']['recipe']} "
@@ -446,5 +455,15 @@ def render(result: CampaignResult) -> str:
             f"\ntrials: {totals['counted_trials']}/{totals['planned_trials']} "
             f"counted, {totals['trials_saved']} saved by early stopping "
             f"({totals['stopped_early']}/{totals['cells']} cells stopped early)"
+        )
+        + (
+            f"\nruntime: {run['trials_pruned']} trial(s) pruned, "
+            f"{run['trials_deduped']} deduped; arena: {run['arena_hits']} "
+            f"hit(s), {run['arena_stores']} store(s)"
+            if any(
+                run.get(k)
+                for k in ("trials_pruned", "trials_deduped", "arena_hits", "arena_stores")
+            )
+            else ""
         )
     )

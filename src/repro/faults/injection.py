@@ -210,6 +210,53 @@ class BitFlipInjector:
             )
         return msb - self.relative_window + 1, msb
 
+    def flip_plan(
+        self, acc: np.ndarray, layer
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Draw one layer invocation's flips without applying them.
+
+        Returns ``(flat_indices, positions)`` — the C-order element
+        indices the Bernoulli mask selected and the bit position drawn
+        for each — or ``None`` when the draw selects nothing.  The RNG
+        consumption, ``flips_injected`` and ``elements_seen`` accounting
+        are exactly those of :meth:`__call__` (which is implemented on
+        top of this), so a caller may freely mix planned and applied
+        invocations without perturbing any stream.  ``acc`` supplies the
+        draw shape, and its values only matter on the legacy
+        measure-per-call MSB fallback (no ``msb_per_layer`` table).
+
+        This is the dedup primitive of the pruning runtime
+        (:meth:`repro.nn.quantize.QuantizedNetwork.evaluate_trials`):
+        two trials whose plans are byte-identical produce byte-identical
+        tensors from the same base accumulators, and an empty plan
+        leaves the base untouched.
+        """
+        ber = float(self.ber_per_layer.get(layer.name, 0.0))
+        self.elements_seen += acc.size
+        if ber <= 0.0:
+            return None
+        mask_rng, pos_rng = self._layer_streams(layer.name)
+        mask = mask_rng.random(acc.shape) < ber
+        n = int(mask.sum())
+        if n == 0:
+            return None
+        low, high = self._flip_window(layer.name, acc)
+        positions = pos_rng.integers(low, high + 1, size=n)
+        self.flips_injected += n
+        return np.flatnonzero(mask.reshape(-1)), positions
+
+    def apply_plan(
+        self, acc: np.ndarray, plan: Optional[Tuple[np.ndarray, np.ndarray]]
+    ) -> np.ndarray:
+        """Apply a :meth:`flip_plan` to ``acc`` (copying; empty plan = as-is)."""
+        if plan is None:
+            return acc
+        indices, positions = plan
+        out = acc.copy()
+        flat = out.reshape(-1)
+        flat[indices] = fp.flip_bits(flat[indices], positions, self.psum_width)
+        return out
+
     def __call__(self, acc: np.ndarray, layer) -> np.ndarray:
         """Flip bits of the accumulator array for one layer invocation.
 
@@ -220,21 +267,7 @@ class BitFlipInjector:
         stream.  Calling this per evaluation chunk or once on the full
         layer batch yields identical flips (see the module docstring).
         """
-        ber = float(self.ber_per_layer.get(layer.name, 0.0))
-        self.elements_seen += acc.size
-        if ber <= 0.0:
-            return acc
-        mask_rng, pos_rng = self._layer_streams(layer.name)
-        mask = mask_rng.random(acc.shape) < ber
-        n = int(mask.sum())
-        if n == 0:
-            return acc
-        low, high = self._flip_window(layer.name, acc)
-        positions = pos_rng.integers(low, high + 1, size=n)
-        out = acc.copy()
-        out[mask] = fp.flip_bits(out[mask], positions, self.psum_width)
-        self.flips_injected += n
-        return out
+        return self.apply_plan(acc, self.flip_plan(acc, layer))
 
 
 def msb_weighted_positions(

@@ -44,12 +44,12 @@ import numpy as np
 
 from ..engine.job import EngineJob, feed_hash
 from ..errors import ConfigurationError
-from ..nn.quantize import canonical_bits
+from ..nn.quantize import FaultFreePass, TrialBatchStats, canonical_bits
 from .injection import BitFlipInjector, active_msb_from_max, measure_active_msbs
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see execute())
     from ..experiments.common import ExperimentScale
-    from ..nn.quantize import FaultFreePass, QuantizedNetwork
+    from ..nn.quantize import QuantizedNetwork
 
 #: Bump when the trial protocol or the cached result layout changes.
 #: v2: per-(trial, layer) RNG substreams + full-batch active-MSB windows
@@ -83,6 +83,36 @@ _PASS_CACHE_MAX_BYTES = 1 << 29  # 512 MB per worker process
 #: Per-process memo of serial-path active-MSB tables (same key space).
 _MSB_CACHE: "OrderedDict[Tuple, Dict[str, int]]" = OrderedDict()
 _MSB_CACHE_MAX = 32
+
+#: Per-process work-avoidance counters of the pruning runtime and the
+#: shared-memory operand arena.  Accumulated here (the execution layer),
+#: drained by the scheduler into :class:`~repro.engine.scheduler.EngineMetrics`
+#: — pool workers drain after each job and ship the deltas home with the
+#: result.
+_RUNTIME_COUNTERS: Dict[str, int] = {}
+
+_RUNTIME_COUNTER_FIELDS = (
+    "trials_pruned",
+    "trials_deduped",
+    "arena_hits",
+    "arena_stores",
+)
+
+
+def record_runtime_counters(**deltas: int) -> None:
+    """Accumulate pruning/dedup/arena events in this process."""
+    for name, value in deltas.items():
+        if name not in _RUNTIME_COUNTER_FIELDS:
+            raise ConfigurationError(f"unknown runtime counter {name!r}")
+        if value:
+            _RUNTIME_COUNTERS[name] = _RUNTIME_COUNTERS.get(name, 0) + int(value)
+
+
+def drain_runtime_counters() -> Dict[str, int]:
+    """Return and reset this process's accumulated runtime counters."""
+    drained = dict(_RUNTIME_COUNTERS)
+    _RUNTIME_COUNTERS.clear()
+    return drained
 
 
 def injection_runtime(explicit: Optional[str] = None) -> str:
@@ -159,6 +189,145 @@ def _pass_cache_get(key: Tuple, build) -> "FaultFreePass":
     ):
         _PASS_CACHE.popitem(last=False)
     return value
+
+# ---------------------------------------------------------------------- #
+# Shared-memory operand arena bridge
+#
+# Campaign fan-out (pool workers, daemon requests, sharded CLI runs)
+# rebuilds identical big operands per process.  The bridge stores two
+# bundle-keyed operand sets in the host-wide arena
+# (:mod:`repro.engine.arena`) so every process after the first attaches
+# them zero-copy instead of recomputing:
+#
+# * the fault-free prefix pass (every layer's activations/accumulators —
+#   the dominant per-process cost and RSS of a batched campaign);
+# * the lowered exact-BLAS GEMM weight matrices of every quantized conv.
+#
+# Payloads round-trip as raw bytes, so arena-served operands are
+# bit-identical to locally built ones; any arena failure falls back to a
+# local rebuild.  Keys derive from ``InjectionJob._cache_identity()``
+# plus the schema version — exactly the determinism domain of the
+# per-process ``_PASS_CACHE``.
+# ---------------------------------------------------------------------- #
+
+
+def _arena_pass_key(identity: Tuple) -> str:
+    return f"ffpass:v{INJECTION_SCHEMA_VERSION}:{identity!r}"
+
+
+def _arena_weights_key(identity: Tuple) -> str:
+    # The lowered weights do not depend on the injected slice (the last
+    # identity component, ``inject_n``).
+    return f"gemm-weights:v{INJECTION_SCHEMA_VERSION}:{identity[:-1]!r}"
+
+
+def _pass_arrays(prefix: FaultFreePass) -> Dict[str, np.ndarray]:
+    arrays: Dict[str, np.ndarray] = {}
+    for i, arr in enumerate(prefix.op_outputs):
+        arrays[f"op{i}"] = arr
+    for name, arr in prefix.conv_out.items():
+        arrays[f"co:{name}"] = arr
+    for name, arr in prefix.acc.items():
+        arrays[f"acc:{name}"] = arr
+    return arrays
+
+
+def _pass_meta(prefix: FaultFreePass) -> Dict[str, object]:
+    return {
+        "n_images": prefix.n_images,
+        "n_ops": len(prefix.op_outputs),
+        "conv_names": list(prefix.conv_out.keys()),
+        "acc_names": list(prefix.acc.keys()),
+        "max_abs_acc": {name: int(v) for name, v in prefix.max_abs_acc.items()},
+    }
+
+
+def _pass_from_entry(entry) -> Optional[FaultFreePass]:
+    """Rebuild a :class:`FaultFreePass` over arena-mapped array views.
+
+    The views are read-only, satisfying the pass's frozen-array
+    contract; ``None`` on any layout mismatch sends the caller to a
+    local rebuild.
+    """
+    try:
+        meta, arrays = entry.meta, entry.arrays
+        return FaultFreePass(
+            n_images=int(meta["n_images"]),
+            op_outputs=[arrays[f"op{i}"] for i in range(int(meta["n_ops"]))],
+            conv_out={n: arrays[f"co:{n}"] for n in meta["conv_names"]},
+            acc={n: arrays[f"acc:{n}"] for n in meta["acc_names"]},
+            max_abs_acc={n: int(v) for n, v in meta["max_abs_acc"].items()},
+        )
+    except Exception:
+        return None
+
+
+def _arena_pass(network: "QuantizedNetwork", x: np.ndarray, identity: Tuple) -> FaultFreePass:
+    """Fault-free pass via the arena: attach if published, else build+publish."""
+    from ..engine.arena import default_arena
+
+    arena = default_arena()
+    key = _arena_pass_key(identity)
+    if arena is not None:
+        entry = arena.attach(key)
+        if entry is not None:
+            prefix = _pass_from_entry(entry)
+            if prefix is not None:
+                record_runtime_counters(arena_hits=1)
+                return prefix
+    prefix = network.fault_free_pass(x)
+    if arena is not None and arena.publish(key, _pass_arrays(prefix), _pass_meta(prefix)):
+        record_runtime_counters(arena_stores=1)
+    return prefix
+
+
+def _arena_install_weights(network: "QuantizedNetwork", identity: Tuple) -> None:
+    """Best-effort zero-copy sharing of the lowered GEMM weight matrices.
+
+    On an arena hit every not-yet-lowered conv adopts the shared
+    matrices in place of building its own copies; on a miss this process
+    lowers locally and publishes for the rest of the host.  The install
+    keeps the builder's own exact-BLAS precondition
+    (``_blas_weight_matrix() is not None``) so substituted matrices are
+    used exactly where locally built ones would be.
+    """
+    from ..engine.arena import default_arena
+
+    arena = default_arena()
+    if arena is None:
+        return
+    try:
+        qconvs = network.qconvs(include_shortcuts=True)
+        if all(qc._blas_weights_hwc is not None for qc in qconvs):
+            return  # already lowered by an earlier job in this process
+        key = _arena_weights_key(identity)
+        entry = arena.attach(key)
+        if entry is not None:
+            installed = 0
+            for qc in qconvs:
+                if qc._blas_weights_hwc is not None:
+                    continue
+                groups = []
+                while f"w:{qc.name}:{len(groups)}" in entry.arrays:
+                    groups.append(entry.arrays[f"w:{qc.name}:{len(groups)}"])
+                if groups and qc._blas_weight_matrix() is not None:
+                    qc._blas_weights_hwc = groups
+                    installed += 1
+            if installed:
+                record_runtime_counters(arena_hits=1)
+            return
+        arrays: Dict[str, np.ndarray] = {}
+        for qc in qconvs:
+            groups = qc._blas_weights_nhwc()
+            if groups is None:
+                return  # exact BLAS unavailable here; nothing to share
+            for g, w in enumerate(groups):
+                arrays[f"w:{qc.name}:{g}"] = w
+        if arrays and arena.publish(key, arrays, {"convs": len(qconvs)}):
+            record_runtime_counters(arena_stores=1)
+    except Exception:
+        pass
+
 
 #: Scale fields that determine the trained bundle and hence the result.
 _SCALE_FIELDS = (
@@ -348,8 +517,13 @@ def run_injection_trials(
             )
             for trial in range(n_trials)
         ]
+        stats = TrialBatchStats()
         accuracies = network.evaluate_trials(
-            x, y, injectors, topk=topk, batch_size=batch_size, prefix=prefix
+            x, y, injectors, topk=topk, batch_size=batch_size, prefix=prefix,
+            stats=stats,
+        )
+        record_runtime_counters(
+            trials_pruned=stats.pruned, trials_deduped=stats.deduped
         )
         flips = sum(inj.flips_injected for inj in injectors)
         return _with_counts(accuracies, flips, n_images)
@@ -571,9 +745,10 @@ class InjectionJob(EngineJob):
         bers = self.ber_table()
         if bers and any(b > 0.0 for b in bers.values()):
             key = self._cache_identity()
+            _arena_install_weights(bundle.qnet, key)
             if resolved == "batched":
                 prefix = _pass_cache_get(
-                    key, lambda: bundle.qnet.fault_free_pass(x)
+                    key, lambda: _arena_pass(bundle.qnet, x, key)
                 )
             elif self.mode == "relative":
                 msbs = _lru_get(
@@ -620,9 +795,17 @@ class InjectionJob(EngineJob):
     # ------------------------------------------------------------------ #
     @staticmethod
     def serialize_result(result: InjectionResult) -> Dict[str, np.ndarray]:
-        """Columnar npz payload (schema v4): packed arrays, no per-trial JSON."""
+        """Columnar npz payload (schema v4): packed integer arrays only.
+
+        The float accuracies are *not* stored: every one is the exact
+        ratio ``trial_correct / n_images`` (the evaluators compute them
+        as exactly that division), so :meth:`deserialize_result`
+        reconstructs them bit-identically from the integer columns.
+        Entries shrink to three integer arrays and warm loads skip a
+        redundant float column — without a schema bump, because the
+        reconstructed result is indistinguishable from the stored one.
+        """
         return {
-            "trial_accuracies": np.asarray(result.trial_accuracies, dtype=np.float64),
             "flips_injected": np.asarray(result.flips_injected, dtype=np.int64),
             "trial_correct": np.asarray(result.trial_correct, dtype=np.int64),
             "n_images": np.asarray(result.n_images, dtype=np.int64),
@@ -630,11 +813,18 @@ class InjectionJob(EngineJob):
 
     @staticmethod
     def deserialize_result(data) -> InjectionResult:
+        n_images = int(data["n_images"])
+        correct = tuple(int(c) for c in data["trial_correct"])
+        if "trial_accuracies" in data:
+            # Entry written before the integer-only payload slimming.
+            accuracies = tuple(float(a) for a in data["trial_accuracies"])
+        else:
+            accuracies = tuple(c / n_images for c in correct)
         return InjectionResult(
-            trial_accuracies=tuple(float(a) for a in data["trial_accuracies"]),
+            trial_accuracies=accuracies,
             flips_injected=int(data["flips_injected"]),
-            trial_correct=tuple(int(c) for c in data["trial_correct"]),
-            n_images=int(data["n_images"]),
+            trial_correct=correct,
+            n_images=n_images,
         )
 
 

@@ -31,6 +31,7 @@ float — they are not in the MAC datapath under study.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -55,6 +56,52 @@ from .models import ClassifierNetwork
 
 #: Injection hook signature: (integer accumulators (pixels, K), layer) -> modified.
 Injector = Callable[[np.ndarray, "QuantizedConv"], np.ndarray]
+
+#: Gate for the pruning/dedup trial runtime ("0"/"false"/"no" disable it).
+INJECTION_PRUNE_ENV = "REPRO_INJECTION_PRUNE"
+
+#: A diverged trial class that has absorbed more flips than this skips
+#: the masked-trial compare at layer checkpoints: full-tensor equality
+#: is all but impossible there, and the compare costs a tensor scan.
+_PRUNE_CHECK_MAX_FLIPS = 64
+
+
+def injection_pruning_enabled(explicit: Optional[bool] = None) -> bool:
+    """Resolve the masked-trial pruning / effective-flip dedup gate.
+
+    ``explicit`` wins when given; otherwise ``REPRO_INJECTION_PRUNE``
+    selects between the pruning lanes walk and the legacy always-stacked
+    walk (default: pruning on).  The two runtimes are bit-identical —
+    the knob exists so conformance CI can prove that, and as an escape
+    hatch.
+    """
+    if explicit is not None:
+        return bool(explicit)
+    return os.environ.get(INJECTION_PRUNE_ENV, "1").strip().lower() not in (
+        "0",
+        "false",
+        "no",
+    )
+
+
+@dataclass
+class TrialBatchStats:
+    """Work-avoidance counters of one pruning-runtime stacked walk.
+
+    ``pruned`` counts (trial, checkpoint) events where a diverged
+    trial's tensor matched the fault-free activations and the trial
+    exited the stacked forward; ``deduped`` counts (trial, layer) events
+    where a trial's flip draw collapsed onto an already-evaluated
+    representative (zero-effective-flip draws rejoining the fault-free
+    lane, or duplicate flip patterns sharing one class).
+    """
+
+    pruned: int = 0
+    deduped: int = 0
+
+    def merge(self, other: "TrialBatchStats") -> None:
+        self.pruned += other.pruned
+        self.deduped += other.deduped
 
 
 def fold_batchnorm(
@@ -616,6 +663,17 @@ class FaultFreePass:
         return sum(a.nbytes for a in arrays)
 
 
+@dataclass
+class _LaneCtx:
+    """Shared context of one pruning-runtime walk (see ``_lane_conv``)."""
+
+    injectors: Sequence[Injector]
+    injected: set
+    prefix: FaultFreePass
+    n_images: int
+    stats: TrialBatchStats
+
+
 class QuantizedNetwork:
     """Integer-inference version of a trained :class:`ClassifierNetwork`.
 
@@ -924,27 +982,13 @@ class QuantizedNetwork:
             main = _stack_trials(main, n_trials)
         return np.maximum(main + short, 0.0), f_main or f_short
 
-    def forward_trials(
+    def _prepare_trials(
         self,
         x: np.ndarray,
         injectors: Sequence[Injector],
-        prefix: Optional[FaultFreePass] = None,
-    ) -> np.ndarray:
-        """All trials' quantized features in one stacked forward pass.
-
-        ``injectors`` holds one per-trial fault hook (one seeded
-        :class:`~repro.faults.injection.BitFlipInjector` per trial);
-        each must expose the campaign's common ``ber_per_layer`` table.
-        Layers before the first injected layer are shared fault-free
-        work served from ``prefix``; from the fork on, every layer runs
-        as a single ``(T*N, ...)`` exact channels-last BLAS GEMM with
-        per-trial flips applied to the full-layer accumulator tensor.
-        The lowered classifier head is part of the walk, so campaigns
-        that inject into it fork there like anywhere else.  Returns the
-        final pipeline tensors shaped ``(T*N, classes, 1, 1)`` in
-        trial-major order, bit-identical to T independent serial
-        forwards.
-        """
+        prefix: Optional[FaultFreePass],
+    ) -> Tuple[set, FaultFreePass]:
+        """Shared validation of the trial-batched entry points."""
         if not self._calibrated:
             raise QuantizationError("call calibrate(batch) before inference")
         if not injectors:
@@ -960,6 +1004,21 @@ class QuantizedNetwork:
             raise QuantizationError(
                 f"fault-free pass covers {prefix.n_images} images, got {x.shape[0]}"
             )
+        return injected, prefix
+
+    def _forward_trials_stacked(
+        self,
+        x: np.ndarray,
+        injectors: Sequence[Injector],
+        injected: set,
+        prefix: FaultFreePass,
+    ) -> np.ndarray:
+        """The legacy always-stacked walk (``REPRO_INJECTION_PRUNE=0``).
+
+        Every trial runs every post-fork layer, redundant or not — the
+        conformance baseline the pruning lanes walk is proven
+        bit-identical against.
+        """
         state, forked = _to_nhwc(x), False
         for i, op in enumerate(self._ops):
             if not forked and not self._op_injected(op, injected):
@@ -985,6 +1044,260 @@ class QuantizedNetwork:
             state = _stack_trials(state, len(injectors))
         return _to_nchw(state)
 
+    # ------------------------------------------------------------------ #
+    # Pruning/dedup lanes walk
+    #
+    # Trials are partitioned into a fault-free *lane* (assignment -1,
+    # served entirely from the recorded pass — no tensors, no GEMMs) and
+    # diverged *classes* 0..A-1 of mutually bit-identical trials, each
+    # owning one (N, ...) slice of a stacked state tensor.  At an
+    # injected conv every trial draws its flip plan (preserving the
+    # serial RNG streams and flip accounting exactly); trials whose
+    # plans select nothing stay in — or, combined with pruning, rejoin —
+    # the lane they were in, and trials with byte-identical plans on the
+    # same base class collapse into one representative.  After every
+    # top-level op, classes whose tensors have returned to the
+    # fault-free values (masked faults) dissolve back into the
+    # fault-free lane; they re-fork from the cached accumulators if a
+    # later layer is injected, which is what makes pruning exact
+    # everywhere.  Exactness of the whole walk is inductive: every class
+    # tensor is produced by the same deterministic integer ops, from the
+    # same inputs, as each member trial's tensor in the legacy walk.
+    # ------------------------------------------------------------------ #
+    def _lane_conv(
+        self,
+        qc: QuantizedConv,
+        lanes: Tuple[Optional[np.ndarray], List[int], List[int]],
+        ctx: _LaneCtx,
+    ) -> Tuple[Optional[np.ndarray], List[int], List[int]]:
+        """One conv under the lanes walk.
+
+        Non-injected: one stacked GEMM over the diverged classes (the
+        fault-free lane costs nothing).  Injected: draw every trial's
+        flip plan, re-partition trials by ``(source class, plan bytes)``,
+        and materialize one accumulator tensor per distinct partition —
+        fault-free-lane trials fork from the cached prefix accumulators,
+        so a trial only ever pays for layers where its faults are live.
+        """
+        state, assign, flips = lanes
+        n_classes = len(flips)
+        n_trials = len(ctx.injectors)
+        acc = qc.accumulate_nhwc(state) if n_classes else None
+        rows = acc.shape[0] // n_classes if n_classes else 0
+        ff_out = ctx.prefix.conv_out[qc.name]
+        oh, ow, k = ff_out.shape[1], ff_out.shape[2], ff_out.shape[3]
+
+        def dequant(acc_new: np.ndarray) -> np.ndarray:
+            # epilogue_nhwc with the output shape taken from the
+            # recorded pass (fresh forks have no input tensor to derive
+            # it from); same op sequence, bit-identical.
+            out = acc_new.astype(np.float64)
+            out *= qc.in_scale * qc.w_scale
+            out += qc.bias[None, :]
+            return out.reshape(-1, oh, ow, k)
+
+        if qc.name not in ctx.injected:
+            if not n_classes:
+                return lanes
+            return dequant(acc), assign, flips
+
+        base_ff = ctx.prefix.acc[qc.name]
+        plans = [
+            inj.flip_plan(
+                base_ff if assign[t] < 0 else acc[assign[t] * rows : (assign[t] + 1) * rows],
+                qc,
+            )
+            for t, inj in enumerate(ctx.injectors)
+        ]
+        seen: Dict[Tuple[int, Optional[Tuple[bytes, bytes]]], int] = {}
+        reps: List[np.ndarray] = []
+        new_flips: List[int] = []
+        new_assign = [-1] * n_trials
+        for t, plan in enumerate(plans):
+            old = assign[t]
+            if old < 0 and plan is None:
+                # Zero-effective-flip draw: the trial stays fault-free.
+                ctx.stats.deduped += 1
+                continue
+            sig = None if plan is None else (plan[0].tobytes(), plan[1].tobytes())
+            c = seen.get((old, sig))
+            if c is None:
+                base = base_ff if old < 0 else acc[old * rows : (old + 1) * rows]
+                c = len(reps)
+                seen[(old, sig)] = c
+                reps.append(ctx.injectors[t].apply_plan(base, plan))
+                new_flips.append(
+                    (flips[old] if old >= 0 else 0)
+                    + (0 if plan is None else len(plan[1]))
+                )
+            else:
+                ctx.stats.deduped += 1
+            new_assign[t] = c
+        if not reps:
+            return None, new_assign, []
+        acc_new = reps[0] if len(reps) == 1 else np.concatenate(reps, axis=0)
+        return dequant(acc_new), new_assign, new_flips
+
+    def _lane_block(
+        self,
+        block: _QBlock,
+        lanes: Tuple[Optional[np.ndarray], List[int], List[int]],
+        ff_in: np.ndarray,
+        ctx: _LaneCtx,
+    ) -> Tuple[Optional[np.ndarray], List[int], List[int]]:
+        """A residual block under the lanes walk.
+
+        Main path and shortcut walk independently from the block-input
+        partition; the residual add joins them over the common
+        refinement of the two partitions (a trial's joined class is the
+        pair of its main and shortcut classes).
+        """
+        main = self._lane_conv(block.qconv1, lanes, ctx)
+        if main[0] is not None:
+            main = (np.maximum(main[0], 0.0), main[1], main[2])
+        main = self._lane_conv(block.qconv2, main, ctx)
+        if block.qshortcut is not None:
+            short = self._lane_conv(block.qshortcut, lanes, ctx)
+            short_ff = ctx.prefix.conv_out[block.qshortcut.name]
+        else:
+            short = lanes
+            short_ff = ff_in
+        main_ff = ctx.prefix.conv_out[block.qconv2.name]
+        m_state, m_assign, m_flips = main
+        s_state, s_assign, s_flips = short
+        n = ctx.n_images
+        seen: Dict[Tuple[int, int], int] = {}
+        outs: List[np.ndarray] = []
+        new_flips: List[int] = []
+        new_assign = [-1] * len(m_assign)
+        for t in range(len(m_assign)):
+            key = (m_assign[t], s_assign[t])
+            if key == (-1, -1):
+                continue
+            c = seen.get(key)
+            if c is None:
+                m_t = main_ff if key[0] < 0 else m_state[key[0] * n : (key[0] + 1) * n]
+                s_t = short_ff if key[1] < 0 else s_state[key[1] * n : (key[1] + 1) * n]
+                c = len(outs)
+                seen[key] = c
+                outs.append(np.maximum(m_t + s_t, 0.0))
+                new_flips.append(
+                    (m_flips[key[0]] if key[0] >= 0 else 0)
+                    + (s_flips[key[1]] if key[1] >= 0 else 0)
+                )
+            new_assign[t] = c
+        if not outs:
+            return None, new_assign, []
+        return np.concatenate(outs, axis=0), new_assign, new_flips
+
+    def _lane_prune(
+        self,
+        lanes: Tuple[Optional[np.ndarray], List[int], List[int]],
+        ff_out: np.ndarray,
+        ctx: _LaneCtx,
+    ) -> Tuple[Optional[np.ndarray], List[int], List[int]]:
+        """Masked-trial checkpoint after one top-level op.
+
+        A diverged class whose tensor equals the recorded fault-free
+        output has had every injected fault masked (typically by ReLU
+        or pooling); its trials dissolve back into the fault-free lane
+        and stop paying for the remaining layers.  Missing a prune is
+        only a missed optimization, so the compare is skipped for
+        classes carrying many flips (see ``_PRUNE_CHECK_MAX_FLIPS``).
+        """
+        state, assign, flips = lanes
+        n_classes = len(flips)
+        if not n_classes:
+            return lanes
+        n = ctx.n_images
+        drop = {
+            c
+            for c in range(n_classes)
+            if flips[c] <= _PRUNE_CHECK_MAX_FLIPS
+            and np.array_equal(state[c * n : (c + 1) * n], ff_out)
+        }
+        if not drop:
+            return lanes
+        kept = [c for c in range(n_classes) if c not in drop]
+        remap = {c: j for j, c in enumerate(kept)}
+        new_assign = []
+        for c in assign:
+            if c >= 0 and c in drop:
+                ctx.stats.pruned += 1
+                new_assign.append(-1)
+            else:
+                new_assign.append(remap[c] if c >= 0 else -1)
+        if not kept:
+            return None, new_assign, []
+        state_new = np.concatenate([state[c * n : (c + 1) * n] for c in kept], axis=0)
+        return state_new, new_assign, [flips[c] for c in kept]
+
+    def _forward_trials_lanes(
+        self,
+        x: np.ndarray,
+        injectors: Sequence[Injector],
+        injected: set,
+        prefix: FaultFreePass,
+        stats: TrialBatchStats,
+    ) -> Tuple[Optional[np.ndarray], List[int], List[int]]:
+        """The pruning/dedup walk over the whole lowered pipeline."""
+        ctx = _LaneCtx(injectors, injected, prefix, x.shape[0], stats)
+        lanes: Tuple[Optional[np.ndarray], List[int], List[int]] = (
+            None,
+            [-1] * len(injectors),
+            [],
+        )
+        for i, op in enumerate(self._ops):
+            if isinstance(op, QuantizedConv):
+                lanes = self._lane_conv(op, lanes, ctx)
+            elif isinstance(op, _QBlock):
+                ff_in = prefix.op_outputs[i - 1] if i else _to_nhwc(x)
+                lanes = self._lane_block(op, lanes, ff_in, ctx)
+            elif isinstance(op, ReLU):
+                if lanes[0] is not None:
+                    lanes = (np.maximum(lanes[0], 0.0), lanes[1], lanes[2])
+            elif isinstance(op, Module):
+                if lanes[0] is not None:
+                    lanes = (self._module_nhwc(op, lanes[0]), lanes[1], lanes[2])
+            else:  # pragma: no cover - defensive, mirrors _forward_features
+                raise TrainingError(f"unexpected op {op!r}")
+            lanes = self._lane_prune(lanes, prefix.op_outputs[i], ctx)
+        return lanes
+
+    def forward_trials(
+        self,
+        x: np.ndarray,
+        injectors: Sequence[Injector],
+        prefix: Optional[FaultFreePass] = None,
+        prune: Optional[bool] = None,
+        stats: Optional[TrialBatchStats] = None,
+    ) -> np.ndarray:
+        """All trials' quantized features in one stacked forward pass.
+
+        ``injectors`` holds one per-trial fault hook (one seeded
+        :class:`~repro.faults.injection.BitFlipInjector` per trial);
+        each must expose the campaign's common ``ber_per_layer`` table.
+        Layers before the first injected layer are shared fault-free
+        work served from ``prefix``.  Under the default pruning runtime
+        (``prune``/``REPRO_INJECTION_PRUNE``, see
+        :func:`injection_pruning_enabled`) trials additionally exit the
+        stacked forward whenever their faults are masked or their flip
+        draws duplicate another trial's, with work-avoidance events
+        recorded into ``stats``; the legacy walk runs every trial
+        through every post-fork layer.  Both return the final pipeline
+        tensors shaped ``(T*N, classes, 1, 1)`` in trial-major order,
+        bit-identical to T independent serial forwards.
+        """
+        injected, prefix = self._prepare_trials(x, injectors, prefix)
+        if not injection_pruning_enabled(prune):
+            return self._forward_trials_stacked(x, injectors, injected, prefix)
+        stats = stats if stats is not None else TrialBatchStats()
+        state, assign, _ = self._forward_trials_lanes(x, injectors, injected, prefix, stats)
+        n = x.shape[0]
+        ff_out = prefix.op_outputs[-1]
+        parts = [ff_out if c < 0 else state[c * n : (c + 1) * n] for c in assign]
+        return _to_nchw(np.concatenate(parts, axis=0))
+
     def evaluate_trials(
         self,
         x: np.ndarray,
@@ -993,24 +1306,41 @@ class QuantizedNetwork:
         topk: int = 1,
         batch_size: int = 128,
         prefix: Optional[FaultFreePass] = None,
+        prune: Optional[bool] = None,
+        stats: Optional[TrialBatchStats] = None,
     ) -> List[float]:
         """Per-trial top-k accuracies from one stacked forward pass.
 
         The stacked walk covers the whole lowered pipeline (classifier
-        head included), so scoring is one flatten + top-k per trial.
+        head included), so scoring is one flatten + top-k per trial —
+        and under the pruning runtime, one per *class* of bit-identical
+        trials, with exact correct-counts scattered back per trial.
         Accuracies are bit-identical to running each trial through
         :meth:`evaluate` at any batch size: every per-sample logit is an
         exactly-dequantized integer accumulator, unaffected by chunking.
         """
-        features = self.forward_trials(x, injectors, prefix=prefix)
+        injected, prefix = self._prepare_trials(x, injectors, prefix)
         n = x.shape[0]
-        logits = features.reshape(len(injectors), n, -1)
-        accuracies: List[float] = []
-        for t in range(len(injectors)):
+
+        def chunked_correct(logits: np.ndarray) -> int:
             correct = 0
             for start in range(0, n, batch_size):
                 correct += F.topk_correct(
-                    logits[t, start : start + batch_size], y[start : start + batch_size], topk
+                    logits[start : start + batch_size], y[start : start + batch_size], topk
                 )
-            accuracies.append(correct / n)
+            return correct
+
+        if not injection_pruning_enabled(prune):
+            features = self._forward_trials_stacked(x, injectors, injected, prefix)
+            logits = features.reshape(len(injectors), n, -1)
+            return [chunked_correct(logits[t]) / n for t in range(len(injectors))]
+        stats = stats if stats is not None else TrialBatchStats()
+        state, assign, _ = self._forward_trials_lanes(x, injectors, injected, prefix, stats)
+        counts: Dict[int, int] = {}
+        accuracies: List[float] = []
+        for c in assign:
+            if c not in counts:
+                feat = prefix.op_outputs[-1] if c < 0 else state[c * n : (c + 1) * n]
+                counts[c] = chunked_correct(_to_nchw(feat).reshape(n, -1))
+            accuracies.append(counts[c] / n)
         return accuracies

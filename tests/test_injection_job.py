@@ -9,6 +9,7 @@ from fresh ones.
 
 import dataclasses
 
+import numpy as np
 import pytest
 
 from repro.engine import SimEngine
@@ -347,3 +348,51 @@ class TestBaseSeedValidation:
                 inject_n=1, n_trials=1, base_seed=seed,
             )
             assert job.base_seed == seed
+
+
+class TestColumnarSerialization:
+    """The slim integer-only cache payload (no schema bump needed).
+
+    ``serialize_result`` stores three integer arrays; the float
+    accuracies are reconstructed as the exact ``correct / n_images``
+    ratios — indistinguishable from the stored originals, because the
+    evaluators compute them as exactly that division.  Entries written
+    before the slimming (carrying a ``trial_accuracies`` column) must
+    still load.
+    """
+
+    RESULT = InjectionResult(
+        trial_accuracies=(10 / 16, 13 / 16, 0.0),
+        flips_injected=42,
+        trial_correct=(10, 13, 0),
+        n_images=16,
+    )
+
+    def test_payload_is_integer_only(self):
+        payload = InjectionJob.serialize_result(self.RESULT)
+        assert sorted(payload) == ["flips_injected", "n_images", "trial_correct"]
+        for arr in payload.values():
+            assert arr.dtype == np.int64
+
+    def test_round_trip_is_bit_identical(self):
+        restored = InjectionJob.deserialize_result(
+            InjectionJob.serialize_result(self.RESULT)
+        )
+        assert restored == self.RESULT
+
+    def test_legacy_payload_with_accuracies_still_loads(self):
+        legacy = dict(InjectionJob.serialize_result(self.RESULT))
+        legacy["trial_accuracies"] = np.asarray(
+            self.RESULT.trial_accuracies, dtype=np.float64
+        )
+        restored = InjectionJob.deserialize_result(legacy)
+        assert restored == self.RESULT
+
+    def test_cache_round_trip_through_engine(self, bundle, tmp_path):
+        job = make_job(bundle)
+        engine = SimEngine(cache_dir=tmp_path, remote=False)
+        fresh = engine.run(job)
+        recalled = SimEngine(cache_dir=tmp_path, remote=False).run(job)
+        assert recalled == fresh
+        assert recalled.trial_accuracies == fresh.trial_accuracies
+        assert recalled.trial_correct == fresh.trial_correct
