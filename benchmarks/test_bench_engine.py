@@ -43,6 +43,15 @@ BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
 #: below the noisiest observation, not at the mean.
 MIN_VECTOR_SPEEDUP = env_float("REPRO_BENCH_MIN_SPEEDUP", 12.0)
 
+#: Floor on the fast backend's speedup over reference.  The histogram
+#: backend is a modest constant-factor win: interleaved best-of-N lands
+#: at 1.5-1.8x on the 1-core reference host, and the band is host-noise
+#: wide — an A/B across the window where the ratio drifted 1.71 -> 1.54
+#: showed byte-identical backend code with both absolute wall clocks
+#: drifting together, i.e. shared-runner contention, not a regression.
+#: The floor sits below the noisiest observation.
+MIN_FAST_SPEEDUP = env_float("REPRO_BENCH_MIN_FAST_SPEEDUP", 1.2)
+
 #: Ceiling (seconds) on one stacked full-network TER pass at the
 #: ``small``-scale network shape, vector backend.  Measured ~0.25s on
 #: the 1-core reference host; the ceiling leaves 4x for host noise.
@@ -201,7 +210,10 @@ def test_bench_engine_backends(benchmark):
     first = dict(zip(engines, timed_interleaved(contenders, repeats=5)))
     clocks = dict(first)
     retry = None
-    if first["reference"] / first["vector"] < MIN_VECTOR_SPEEDUP:
+    if (
+        first["reference"] / first["vector"] < MIN_VECTOR_SPEEDUP
+        or first["reference"] / first["fast"] < MIN_FAST_SPEEDUP
+    ):
         # One extended re-measure before declaring a regression: a single
         # noisy-neighbor blip on a shared runner can depress best-of-5.
         # Both measurements go into the bench record, so a floor trip in
@@ -213,9 +225,14 @@ def test_bench_engine_backends(benchmark):
     payload = {
         "batch": "micro-scale conv shapes, full operand streams, "
         f"{len(jobs)} jobs x {len(PAPER_CORNERS)} corners",
+        "measurement": "interleaved best-of-5 wall clock per backend "
+        "(contenders alternate, damping shared-runner drift); best-of-7 "
+        "retry folded in when a floor trips — both passes recorded",
         "wall_clock_s": {k: round(v, 4) for k, v in clocks.items()},
         "speedup_vs_reference": {k: round(v, 2) for k, v in speedups.items()},
+        "fast_speedup_noise_band": "1.5-1.8x on the 1-core reference host",
         "asserted_min_vector_speedup": MIN_VECTOR_SPEEDUP,
+        "asserted_min_fast_speedup": MIN_FAST_SPEEDUP,
     }
     if retry is not None:
         payload["wall_clock_s_first_measure"] = {
@@ -232,6 +249,11 @@ def test_bench_engine_backends(benchmark):
         )
     )
     assert clocks["fast"] < clocks["reference"]
+    assert speedups["fast"] >= MIN_FAST_SPEEDUP, (
+        f"fast backend regressed: {speedups['fast']:.2f}x < "
+        f"{MIN_FAST_SPEEDUP}x over reference (see BENCH_engine.json; the "
+        "honest interleaved band on the reference host is 1.5-1.8x)"
+    )
     assert speedups["vector"] >= MIN_VECTOR_SPEEDUP, (
         f"vector backend regressed: {speedups['vector']:.1f}x < "
         f"{MIN_VECTOR_SPEEDUP}x over reference (see BENCH_engine.json)"

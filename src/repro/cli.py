@@ -155,6 +155,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _scale_flag(sweep_parser)
     _engine_flags(sweep_parser)
+    sweep_parser.add_argument(
+        "--artifacts",
+        default=None,
+        metavar="DIR",
+        help="write manifest.json (per-GEMM TERs, READ-reorder verdicts, "
+        "run provenance) to this directory",
+    )
 
     fuzz_parser = subparsers.add_parser(
         "fuzz",
@@ -560,6 +567,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = run_suite(args.suite, scale=scale, engine=engine)
         print(f"=== sweep:{args.suite} " + "=" * max(0, 52 - len(args.suite)))
         print(render_suite(result))
+        if args.artifacts:
+            from .experiments.sweep import write_suite_manifest
+
+            path = write_suite_manifest(result, args.artifacts, engine=engine)
+            print(f"manifest: {path}")
         print(f"--- sweep:{args.suite} done in {time.time() - start:.1f}s\n")
         _print_engine_summary(engine)
         return 0

@@ -17,7 +17,10 @@ Lifecycle is lease-based and SIGKILL-safe:
   tempdir) holds one JSON descriptor per segment plus one empty
   ``<digest>.<pid>.lease`` file per attached process;
 * :meth:`OperandArena.release_all` (wired to engine/daemon shutdown and
-  ``atexit``) drops this process's leases and closes its mappings;
+  ``atexit``) drops this process's leases; the mappings themselves are
+  kept until process exit, because consumers (the memoized fault-free
+  pass, adopted lowered weights) hold numpy views into them and
+  unmapping under a live view is a segfault (see :class:`ArenaEntry`);
 * :meth:`OperandArena.sweep` — run on shutdown and by ``read-repro
   cache gc`` — removes leases whose pid is dead (a SIGKILLed worker
   cannot clean up, but its pid stops existing) and unlinks any segment
@@ -83,13 +86,43 @@ def _segment_name(key: str) -> str:
     return f"repro-arena-{_digest(key)}"
 
 
+#: Degraded arena operations in this process (publish/attach/sweep/init
+#: failures that fell back to a local rebuild).  Mirrored into the
+#: engine's runtime counters so the degradation is visible in the engine
+#: summary line and ``cache stats`` instead of vanishing silently.
+_ERROR_COUNT = 0
+
+
+def arena_error_count() -> int:
+    """Degraded arena operations recorded in this process so far."""
+    return _ERROR_COUNT
+
+
+def _record_error(context: str, exc: Exception) -> None:
+    """Count one degradation and forward it to the engine metrics.
+
+    The forward import is lazy (the faults package imports the engine
+    package); if the counter plumbing itself is unavailable the local
+    count still advances — degradations must never become failures.
+    """
+    global _ERROR_COUNT
+    _ERROR_COUNT += 1
+    try:
+        from ..faults.injection_job import record_runtime_counters
+    except ImportError:  # pragma: no cover - partial-install guard
+        return
+    record_runtime_counters(arena_errors=1)
+
+
 def _untrack(name: str) -> None:
     """Remove a segment from the resource tracker's exit-time cleanup."""
     try:  # pragma: no cover - tracker registration varies by version
         from multiprocessing import resource_tracker
 
         resource_tracker.unregister(f"/{name}", "shared_memory")
-    except Exception:
+    except (ImportError, AttributeError, KeyError, ValueError, OSError):
+        # Not registered / tracker API drift: expected version variation,
+        # not an arena degradation — nothing to count.
         pass
 
 
@@ -135,9 +168,17 @@ def _pid_alive(pid: int) -> bool:
 class ArenaEntry:
     """One attached segment: zero-copy read-only array views + metadata.
 
-    The views alias the shared mapping; they stay valid until the entry
-    is released (or the process exits).  Consumers treat them exactly
-    like locally built frozen operands.
+    The views alias the shared mapping and stay valid for the life of
+    the process: releasing an entry drops its *lease* (the reclamation
+    token other processes look at), never the mapping.  Closing the
+    mapping while views exist would be a use-after-unmap — numpy views
+    built over the shared buffer hold only a pointer plus an object
+    reference, not a live buffer export, so ``SharedMemory.close()``
+    does NOT fail with ``BufferError`` the way a raw memoryview consumer
+    would make it; it silently unmaps and the next read of any view
+    (e.g. a memoized fault-free pass) segfaults.  Retired entries are
+    therefore parked until interpreter shutdown; consumers treat the
+    views exactly like locally built frozen operands.
     """
 
     key: str
@@ -145,33 +186,32 @@ class ArenaEntry:
     arrays: Dict[str, np.ndarray]
     _shm: object = field(repr=False, default=None)
 
-    def close(self) -> None:
-        self.arrays = {}
-        try:
-            self._shm.close()
-        except (BufferError, OSError, AttributeError):
-            # A consumer still holds a view into the mapping (e.g. a
-            # memoized pass); the mapping then lives until process exit,
-            # which is safe — leases, not mappings, drive reclamation.
-            pass
-
 
 @dataclass(frozen=True)
 class ArenaStats:
-    """One snapshot of the registry (``cache stats`` / daemon status)."""
+    """One snapshot of the registry (``cache stats`` / daemon status).
+
+    ``errors`` is process-local (degraded operations recorded by this
+    process — see :func:`arena_error_count`), the other fields reflect
+    the on-disk registry shared by every process on the host.
+    """
 
     segments: int
     bytes: int
     leases: int
+    errors: int = 0
 
     def as_dict(self) -> dict:
         return asdict(self)
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.segments} arena segment(s), {self.bytes} byte(s), "
             f"{self.leases} lease(s)"
         )
+        if self.errors:
+            text += f", {self.errors} error(s)"
+        return text
 
 
 @dataclass(frozen=True)
@@ -210,8 +250,14 @@ class OperandArena:
         self.root = Path(root) if root is not None else arena_root()
         self.root.mkdir(parents=True, exist_ok=True)
         #: Segments this process has attached (key -> entry), so repeat
-        #: attaches are free and release_all knows what to close.
+        #: attaches are free and release knows which leases it holds.
         self._attached: Dict[str, ArenaEntry] = {}
+        #: Entries released while the process lives.  Their shm handles
+        #: are parked here so nothing garbage-collects them
+        #: (``SharedMemory.__del__`` would unmap under any consumer
+        #: still holding views — see :class:`ArenaEntry`); the OS tears
+        #: the mappings down at process exit.
+        self._retired: List[ArenaEntry] = []
         self._atexit_registered = False
 
     # ------------------------------------------------------------------ #
@@ -314,7 +360,10 @@ class OperandArena:
                 self._lease(key).touch()
             self._ensure_atexit()
             return True
-        except Exception:
+        except (OSError, ValueError, TypeError) as exc:
+            # Segment creation, payload copy, or descriptor write failed
+            # (e.g. /dev/shm full, permissions): degrade to local builds.
+            _record_error("publish", exc)
             return False
 
     def attach(self, key: str) -> Optional[ArenaEntry]:
@@ -355,14 +404,26 @@ class OperandArena:
             self._attached[key] = entry
             self._ensure_atexit()
             return entry
-        except Exception:
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            # Missing/corrupt descriptor or segment, header layout drift:
+            # the caller rebuilds locally.
+            _record_error("attach", exc)
             return None
 
     def release(self, key: str) -> None:
-        """Drop this process's lease on one bundle and close its mapping."""
+        """Drop this process's lease on one bundle.
+
+        The lease is the reclamation token — without it, any sweep may
+        unlink the segment.  The *mapping* is deliberately kept (parked
+        on ``_retired``): consumers such as the memoized fault-free
+        pass hold numpy views into it, and unmapping under them is a
+        segfault, not an exception (see :class:`ArenaEntry`).  An
+        unlinked-but-mapped segment stays readable for this process
+        until exit, which is exactly POSIX shm semantics.
+        """
         entry = self._attached.pop(key, None)
         if entry is not None:
-            entry.close()
+            self._retired.append(entry)
         try:
             self._lease(key).unlink(missing_ok=True)
         except OSError:
@@ -393,9 +454,11 @@ class OperandArena:
                 except (OSError, ValueError):
                     continue
             leases = sum(1 for _ in self.root.glob("*.lease"))
-        except OSError:
-            pass
-        return ArenaStats(segments=segments, bytes=total, leases=leases)
+        except OSError as exc:
+            _record_error("stats", exc)
+        return ArenaStats(
+            segments=segments, bytes=total, leases=leases, errors=arena_error_count()
+        )
 
     def sweep(self) -> ArenaSweepReport:
         """Reclaim: drop dead-pid leases, unlink segments nobody leases.
@@ -437,15 +500,19 @@ class OperandArena:
                     try:
                         info = json.loads(descriptor.read_text())
                         _unlink_segment(str(info["segment"]))
-                    except Exception:
-                        pass
+                    except FileNotFoundError:
+                        pass  # segment already gone: nothing left to free
+                    except (OSError, ValueError, KeyError) as exc:
+                        _record_error("sweep", exc)
                     try:
                         descriptor.unlink()
                         segments_removed += 1
-                    except OSError:
-                        pass
-        except Exception:
-            pass
+                    except OSError as exc:
+                        _record_error("sweep", exc)
+        except OSError as exc:
+            # Registry lock or directory scan failed: report what was
+            # reclaimed so far rather than raising from a cleanup path.
+            _record_error("sweep", exc)
         return ArenaSweepReport(
             leases_removed=leases_removed,
             segments_removed=segments_removed,
@@ -468,7 +535,10 @@ def default_arena() -> Optional[OperandArena]:
     if _default is None:
         try:
             _default = OperandArena()
-        except Exception:
+        except OSError as exc:
+            # Registry directory could not be created: run without the
+            # arena (counted — this silently halves sharing otherwise).
+            _record_error("init", exc)
             return None
     return _default
 

@@ -57,6 +57,17 @@ from .client import EngineClient, EngineClientError
 from .job import EngineJob, NetworkJob, SimJob
 from .protocol import ENGINE_SOCKET_ENV
 
+#: How long a failed daemon probe suppresses further probes.  After this
+#: many seconds (or :data:`REMOTE_REPROBE_REQUESTS` skipped probes,
+#: whichever comes first) the engine pings the socket again, so a client
+#: that outlives a daemon restart reattaches instead of staying
+#: in-process forever.  Module-level so tests can shrink the thresholds.
+REMOTE_REPROBE_SECONDS = 30.0
+
+#: Request-count arm of the re-probe: a client hammering out batches
+#: re-probes after this many skipped probes even inside the time window.
+REMOTE_REPROBE_REQUESTS = 50
+
 
 def _execute_job(factory: Callable[[], SimulationBackend], job: EngineJob):
     """Top-level worker entry point (must be picklable for the pool).
@@ -169,6 +180,11 @@ class EngineMetrics:
     #: rebuilt, and segments published by this process's jobs.
     arena_hits: int = 0
     arena_stores: int = 0
+    #: Arena operations that degraded to a local rebuild after an OS or
+    #: layout error (publish/attach/sweep failures).  The arena is a
+    #: best-effort optimization, so these are never fatal — but a
+    #: non-zero count is the visible trace of the degradation.
+    arena_errors: int = 0
 
     @property
     def total(self) -> int:
@@ -188,8 +204,10 @@ class EngineMetrics:
                 f"; {self.trials_pruned} trial(s) pruned, "
                 f"{self.trials_deduped} deduped"
             )
-        if self.arena_hits or self.arena_stores:
+        if self.arena_hits or self.arena_stores or self.arena_errors:
             text += f"; arena: {self.arena_hits} hit(s), {self.arena_stores} store(s)"
+        if self.arena_errors:
+            text += f", {self.arena_errors} error(s)"
         return text
 
     def as_dict(self) -> Dict[str, object]:
@@ -270,9 +288,18 @@ class SimEngine:
         self.keep_pool = keep_pool
         self.remote = remote
         self._persistent_pool: Optional[ProcessPoolExecutor] = None
-        #: Latched after one failed daemon probe so a long sweep warns
-        #: once and stays in-process rather than re-probing per batch.
-        self._remote_unreachable = False
+        #: Latched (with a monotonic timestamp) after a failed daemon
+        #: probe so a long sweep stays in-process rather than re-probing
+        #: per batch.  The latch *expires* — after
+        #: :data:`REMOTE_REPROBE_SECONDS` or
+        #: :data:`REMOTE_REPROBE_REQUESTS` skipped probes the daemon is
+        #: pinged again — so a long-lived client reattaches to a
+        #: restarted daemon instead of degrading in-process forever.
+        self._remote_down_since: Optional[float] = None
+        #: Probes skipped while latched (the request-count re-probe arm).
+        self._remote_skipped = 0
+        #: The unreachable warning fires once per engine, not per probe.
+        self._remote_warned = False
         #: Whether ``backend`` was an explicit choice (constructor call,
         #: CLI flag, environment) or just the built-in fallback.
         #: :meth:`preferring` only overrides the fallback.
@@ -360,30 +387,47 @@ class SimEngine:
     def _remote_client(self) -> Optional[EngineClient]:
         """A pinged client for the ``$REPRO_ENGINE_SOCKET`` daemon, or None.
 
-        None when routing is disabled, no socket is configured, or the
-        probe failed (which warns and latches the fallback).
+        None when routing is disabled, no socket is configured, the probe
+        failed (which warns once and latches the fallback), or the latch
+        is still fresh.  A stale latch — older than
+        :data:`REMOTE_REPROBE_SECONDS`, or with
+        :data:`REMOTE_REPROBE_REQUESTS` probes skipped — triggers one
+        re-probe, so the engine reattaches to a restarted daemon.
         """
-        if not self.remote or self._remote_unreachable:
+        if not self.remote:
             return None
         socket_path = os.environ.get(ENGINE_SOCKET_ENV)
         if not socket_path:
             return None
+        if self._remote_down_since is not None:
+            self._remote_skipped += 1
+            fresh = (
+                time.monotonic() - self._remote_down_since < REMOTE_REPROBE_SECONDS
+                and self._remote_skipped < REMOTE_REPROBE_REQUESTS
+            )
+            if fresh:
+                return None
         client = EngineClient(socket_path)
         try:
             client.ping()
         except EngineClientError as exc:
             self._remote_fallback(exc)
             return None
+        self._remote_down_since = None
+        self._remote_skipped = 0
         return client
 
     def _remote_fallback(self, exc: Exception) -> None:
-        self._remote_unreachable = True
-        warnings.warn(
-            f"{ENGINE_SOCKET_ENV} is set but the engine daemon did not answer "
-            f"({exc}); falling back to in-process execution",
-            RuntimeWarning,
-            stacklevel=4,
-        )
+        self._remote_down_since = time.monotonic()
+        self._remote_skipped = 0
+        if not self._remote_warned:
+            self._remote_warned = True
+            warnings.warn(
+                f"{ENGINE_SOCKET_ENV} is set but the engine daemon did not answer "
+                f"({exc}); falling back to in-process execution",
+                RuntimeWarning,
+                stacklevel=4,
+            )
 
     def _merge_counters(self, delta: Mapping[str, int]) -> None:
         """Fold drained runtime counters (worker or inline) into stats."""

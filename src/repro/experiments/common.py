@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -28,13 +28,20 @@ import numpy as np
 
 from ..arch import AcceleratorConfig, sample_pixel_rows
 from ..core import MappingStrategy
+from ..core.pipeline import plan_layer
+from ..core.signflip import paper_sign
 from ..engine import NetworkJob, SimEngine, SimJob, cache_root, default_engine
 from ..errors import ConfigurationError
 from ..hw.variations import PvtaCondition
 from ..nn.datasets import load_dataset
 from ..nn.layers import BatchNorm2d
 from ..nn.models import ClassifierNetwork, build_model
-from ..nn.quantize import QuantizedNetwork, canonical_bits
+from ..nn.quantize import (
+    QuantizedDynamicMatmul,
+    QuantizedNetwork,
+    canonical_bits,
+    quantize_model,
+)
 from ..nn.training import Trainer
 
 #: All strategies compared across the figures, in plotting order.
@@ -98,6 +105,7 @@ MODEL_RECIPES: Dict[str, Tuple[str, str]] = {
     "vgg16_cifar100": ("vgg16", "cifar100_like"),
     "resnet34_imagenet32": ("resnet34", "imagenet32_like"),
     "mobilenet_cifar10": ("mobilenet", "cifar10_like"),
+    "mixer_cifar10": ("mixer", "cifar10_like"),
 }
 
 
@@ -107,7 +115,8 @@ class TrainedBundle:
 
     recipe: str
     model: ClassifierNetwork
-    qnet: QuantizedNetwork
+    #: QuantizedNetwork or QuantizedTokenNetwork (same experiment surface).
+    qnet: object
     x_test: np.ndarray
     y_test: np.ndarray
     float_accuracy: float
@@ -219,7 +228,7 @@ def get_bundle(
         float_acc = history.final_test_accuracy
         save_model_state(model, state_path)
 
-    qnet = QuantizedNetwork(model, bits_per_layer=dict(bits), default_bits=default_bits)
+    qnet = quantize_model(model, bits_per_layer=dict(bits), default_bits=default_bits)
     qnet.calibrate(x_train[: min(64, x_train.shape[0])])
     quant_acc = qnet.evaluate(x_test[: scale.inject_n], y_test[: scale.inject_n])
 
@@ -262,16 +271,27 @@ class LayerTerRecord:
 
 def record_operand_streams(
     qnet: QuantizedNetwork, x_images: np.ndarray
-) -> Dict[str, np.ndarray]:
-    """One recorded quantized forward: layer name -> im2col operand matrix."""
+) -> Dict[str, object]:
+    """One recorded quantized forward: GEMM name -> quantized operand stream.
+
+    Conv and static-matmul ops record one ``(rows, C_eff)`` operand
+    matrix; dynamic (activation-activation) matmuls record an
+    ``(a_q, b_q)`` tensor pair — both operands are runtime data, one
+    stationary matrix per image instance.
+    """
     qnet.set_recording(True)
     try:
         qnet.forward(x_images)
-        streams = {}
-        for qc in qnet.qconvs():
-            if qc.recorded_cols is None:
-                raise ConfigurationError(f"layer {qc.name} recorded no operands")
-            streams[qc.name] = qc.recorded_cols
+        streams: Dict[str, object] = {}
+        for op in qnet.gemm_ops():
+            if isinstance(op, QuantizedDynamicMatmul):
+                if op.recorded_operands is None:
+                    raise ConfigurationError(f"layer {op.name} recorded no operands")
+                streams[op.name] = op.recorded_operands
+            else:
+                if op.recorded_cols is None:
+                    raise ConfigurationError(f"layer {op.name} recorded no operands")
+                streams[op.name] = op.recorded_cols
         return streams
     finally:
         qnet.set_recording(False)
@@ -299,9 +319,89 @@ def sample_layer_acts(
     return cols[rows]
 
 
+#: Stationary-operand instances sampled per dynamic (activation-
+#: activation) GEMM: the systolic array sees a different stationary
+#: matrix per image, so each sampled instance is one independent SimJob.
+MAX_DYNAMIC_INSTANCES = 4
+
+
+@dataclass(frozen=True)
+class GemmSimUnit:
+    """One independent GEMM simulation of a layer-level measurement.
+
+    A dense conv or static matmul is one unit; a grouped/depthwise conv
+    is one unit per group GEMM; a dynamic matmul is one unit per sampled
+    operand instance.  ``suffix`` disambiguates the job labels.
+    """
+
+    suffix: str
+    acts: np.ndarray
+    weights: np.ndarray
+    config: AcceleratorConfig
+
+
+def _op_config(config: AcceleratorConfig, signed: bool) -> AcceleratorConfig:
+    """The accelerator instance for one GEMM's operand signedness.
+
+    Conv activations are post-ReLU unsigned (the default datapath);
+    signed matmul operands flip ``mac.act_signed`` so the timing model —
+    and the content hash — describe the datapath actually exercised.
+    """
+    if not signed:
+        return config
+    return replace(config, mac=replace(config.mac, act_signed=True))
+
+
+def gemm_sim_units(
+    op: object,
+    streams: Dict[str, object],
+    config: AcceleratorConfig,
+    max_pixels: int = 48,
+    seed: int = 0,
+) -> List[GemmSimUnit]:
+    """The per-strategy simulation units of one GEMM op.
+
+    The single source of truth for how a GEMM decomposes into SimJobs:
+    :func:`layer_ter_jobs` emits one job per (strategy, unit) and
+    :func:`measure_layer_ters` re-assembles reports by the same unit
+    count, so emission and reassembly can never drift apart.
+    """
+    if isinstance(op, QuantizedDynamicMatmul):
+        a_q, b_q = streams[op.name]
+        rng = layer_sample_rng(seed, op.name)
+        instances = sample_pixel_rows(a_q.shape[0], MAX_DYNAMIC_INSTANCES, rng)
+        cfg = _op_config(config, op.a_signed)
+        units = []
+        for j, i in enumerate(instances):
+            rows = sample_pixel_rows(a_q.shape[1], max_pixels, rng)
+            units.append(
+                GemmSimUnit(
+                    suffix=f"[i{j}]" if len(instances) > 1 else "",
+                    acts=a_q[i][rows],
+                    weights=b_q[i],
+                    config=cfg,
+                )
+            )
+        return units
+    acts = sample_layer_acts(streams, op.name, max_pixels, seed)
+    cfg = _op_config(config, bool(getattr(op, "act_signed", False)))
+    groups = getattr(op, "groups", 1)
+    return [
+        GemmSimUnit(
+            suffix=f"[g{g}]" if groups > 1 else "",
+            acts=acts[:, start:stop],
+            weights=wmat,
+            config=cfg,
+        )
+        for g, ((start, stop), wmat) in enumerate(
+            zip(op.group_col_spans(), op.lowered_group_weights())
+        )
+    ]
+
+
 def layer_ter_jobs(
     qnet: QuantizedNetwork,
-    streams: Dict[str, np.ndarray],
+    streams: Dict[str, object],
     corners: Sequence[PvtaCondition],
     strategies: Sequence[MappingStrategy] = ALL_STRATEGIES,
     config: Optional[AcceleratorConfig] = None,
@@ -310,36 +410,34 @@ def layer_ter_jobs(
     seed: int = 0,
     label_prefix: str = "",
 ) -> List[SimJob]:
-    """Build the (layer x strategy x conv-group) job batch for one network.
+    """Build the (GEMM x strategy x unit) job batch for one network.
 
-    Job order is layer-major, then strategy, then convolution group
-    (dense layers contribute exactly one job per strategy; a grouped/
-    depthwise layer contributes one job per independent group GEMM —
-    each over its own operand-column slice of the shared pixel sample),
-    matching how :func:`measure_layer_ters` re-assembles records.  Every
-    runner that measures layer TERs goes through this builder so
-    identical measurements hash to identical cache keys across figures.
+    Job order is GEMM-major (execution order), then strategy, then unit
+    (dense conv and static matmul layers contribute exactly one job per
+    strategy; a grouped/depthwise layer one job per independent group
+    GEMM over its operand-column slice; a dynamic matmul one job per
+    sampled operand instance — see :func:`gemm_sim_units`), matching how
+    :func:`measure_layer_ters` re-assembles records.  Every runner that
+    measures layer TERs goes through this builder so identical
+    measurements hash to identical cache keys across figures.
     """
     config = config or AcceleratorConfig()
     group_size = group_size or config.cols
     jobs: List[SimJob] = []
-    for qc in qnet.qconvs():
-        acts = sample_layer_acts(streams, qc.name, max_pixels, seed)
-        group_weights = qc.lowered_group_weights()
-        spans = qc.group_col_spans()
+    for op in qnet.gemm_ops():
+        units = gemm_sim_units(op, streams, config, max_pixels=max_pixels, seed=seed)
         for strategy in strategies:
-            for g, ((start, stop), wmat) in enumerate(zip(spans, group_weights)):
-                suffix = f"[g{g}]" if qc.groups > 1 else ""
+            for unit in units:
                 jobs.append(
                     SimJob(
-                        acts=acts[:, start:stop],
-                        weights=wmat,
+                        acts=unit.acts,
+                        weights=unit.weights,
                         corners=tuple(corners),
                         group_size=group_size,
                         strategy=strategy,
                         seed=seed,
-                        config=config,
-                        label=f"{label_prefix}{qc.name}{suffix}:{strategy.value}",
+                        config=unit.config,
+                        label=f"{label_prefix}{op.name}{unit.suffix}:{strategy.value}",
                     )
                 )
     return jobs
@@ -407,11 +505,11 @@ def measure_layer_ters(
     max_pixels: int = 48,
     seed: int = 0,
     engine: Optional[SimEngine] = None,
-    streams: Optional[Dict[str, np.ndarray]] = None,
+    streams: Optional[Dict[str, object]] = None,
 ) -> Dict[str, List[LayerTerRecord]]:
-    """Measure every conv layer's TER under each strategy and corner.
+    """Measure every GEMM op's TER under each strategy and corner.
 
-    Returns ``{strategy_value: [LayerTerRecord per layer in order]}``.
+    Returns ``{strategy_value: [LayerTerRecord per GEMM in order]}``.
     The activation streams are the *real* quantized intermediate tensors
     produced by forwarding ``x_images``, sub-sampled to ``max_pixels``
     GEMM rows per layer (an unbiased per-cycle average); callers that
@@ -444,13 +542,15 @@ def measure_layer_ters(
     # unaffected.
     all_reports = engine.run_many([NetworkJob(jobs=tuple(jobs), label="layer-ters")])[0]
 
+    config = config or AcceleratorConfig()
     results: Dict[str, List[LayerTerRecord]] = {s.value: [] for s in strategies}
     report_iter = iter(all_reports)
-    for qc in qnet.qconvs():
+    for op in qnet.gemm_ops():
+        n_units = len(gemm_sim_units(op, streams, config, max_pixels=max_pixels, seed=seed))
         for strategy in strategies:
-            per_group = [next(report_iter) for _ in range(qc.groups)]
+            per_group = [next(report_iter) for _ in range(n_units)]
             results[strategy.value].append(
-                aggregate_group_reports(qc.name, strategy, per_group)
+                aggregate_group_reports(op.name, strategy, per_group)
             )
     return results
 
@@ -466,6 +566,82 @@ def macs_per_layer(records: Dict[str, List[LayerTerRecord]]) -> Dict[str, int]:
     """Extract ``{layer: N}`` (Eq. 1 MAC counts) from a measurement."""
     first = next(iter(records.values()))
     return {r.layer: r.n_macs_per_output for r in first}
+
+
+# ---------------------------------------------------------------------- #
+# READ-reorder applicability
+# ---------------------------------------------------------------------- #
+def reorder_applicability(
+    acts: np.ndarray, weights: np.ndarray, seed: int = 0
+) -> Dict[str, object]:
+    """Does READ's single-zero-crossing property hold on this operand pair?
+
+    The paper proves that sign-first reordering makes every per-column
+    PSUM trace cross zero at most once — *for non-negative activations*
+    (post-ReLU convs).  Attention operands are signed, so the property
+    must be measured, not assumed: this replays the actual reorder plan
+    (``group_size=1``, one trace per output column) over the operand
+    rows and counts sign transitions of the running PSUM, using the same
+    convention as the metamorphic suite.
+
+    Returns ``{"holds", "traces", "violating_traces",
+    "max_zero_crossings"}`` — ``holds`` is True iff every trace crossed
+    zero at most once.
+    """
+    plan = plan_layer(weights, group_size=1, strategy=MappingStrategy.REORDER, seed=seed)
+    n_traces = 0
+    violating = 0
+    max_crossings = 0
+    for group in plan.groups:
+        products = acts[:, group.order] * group.weights[:, 0][None, :]
+        trace = np.cumsum(products, axis=1)
+        transitions = np.abs(np.diff(paper_sign(trace), axis=1)).sum(axis=1)
+        n_traces += transitions.shape[0]
+        violating += int((transitions > 1).sum())
+        max_crossings = max(max_crossings, int(transitions.max(initial=0)))
+    return {
+        "holds": violating == 0,
+        "traces": n_traces,
+        "violating_traces": violating,
+        "max_zero_crossings": max_crossings,
+    }
+
+
+def gemm_reorder_applicability(
+    qnet: QuantizedNetwork,
+    streams: Dict[str, object],
+    config: Optional[AcceleratorConfig] = None,
+    max_pixels: int = 48,
+    seed: int = 0,
+) -> Dict[str, Dict[str, object]]:
+    """Per-GEMM READ-reorder applicability verdicts for one network.
+
+    Runs :func:`reorder_applicability` over exactly the operand units
+    that :func:`layer_ter_jobs` simulates, folding multi-unit ops
+    (grouped convs, dynamic-matmul instances) into one verdict per GEMM.
+    Recorded in sweep manifests so reviewers can see *where* the paper's
+    invariant stops holding (signed attention operands) without rerunning.
+    """
+    config = config or AcceleratorConfig()
+    verdicts: Dict[str, Dict[str, object]] = {}
+    for op in qnet.gemm_ops():
+        units = gemm_sim_units(op, streams, config, max_pixels=max_pixels, seed=seed)
+        traces = 0
+        violating = 0
+        max_crossings = 0
+        for unit in units:
+            report = reorder_applicability(unit.acts, unit.weights, seed=seed)
+            traces += report["traces"]
+            violating += report["violating_traces"]
+            max_crossings = max(max_crossings, report["max_zero_crossings"])
+        verdicts[op.name] = {
+            "holds": violating == 0,
+            "signed_acts": unit.config.mac.act_signed,
+            "traces": traces,
+            "violating_traces": violating,
+            "max_zero_crossings": max_crossings,
+        }
+    return verdicts
 
 
 # ---------------------------------------------------------------------- #

@@ -30,7 +30,9 @@ injection phase derives its BER tables from directly-executed batches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from ..engine import EngineJob, NetworkJob, SimEngine, default_engine, engine_context
@@ -40,6 +42,7 @@ from .common import (
     ExperimentScale,
     LayerTerRecord,
     TrainedBundle,
+    gemm_reorder_applicability,
     get_bundle,
     get_scale,
     layer_ter_jobs,
@@ -50,7 +53,7 @@ from .common import (
     ters_for_corner,
 )
 from .fig10 import corner_seed
-from .orchestrator import _dedup
+from .orchestrator import MANIFEST_SCHEMA, _dedup
 
 
 @dataclass(frozen=True)
@@ -65,6 +68,10 @@ class ScenarioReport:
     injected_accuracy: Dict[str, Dict[str, float]]
     #: Resolved per-layer bit widths (non-default entries only).
     bits: Tuple[Tuple[str, int], ...]
+    #: GEMM name -> READ-reorder applicability verdict (does every
+    #: per-column PSUM trace cross zero at most once on this op's real
+    #: operands?) — see :func:`repro.experiments.common.reorder_applicability`.
+    reorder_applicability: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -220,9 +227,80 @@ def run_suite(
                 records=all_records[sc.name],
                 injected_accuracy=grid,
                 bits=bundle.bits_per_layer,
+                reorder_applicability=gemm_reorder_applicability(
+                    bundle.qnet,
+                    streams[sc.name],
+                    max_pixels=scale.ter_pixels,
+                    seed=sc.seed,
+                ),
             )
         )
     return SuiteResult(suite=suite, scale=scale.name, reports=reports)
+
+
+# ---------------------------------------------------------------------- #
+# Manifest
+# ---------------------------------------------------------------------- #
+def suite_manifest(result: SuiteResult, engine: Optional[SimEngine] = None) -> Dict[str, object]:
+    """JSON-able provenance record of one suite run.
+
+    Mirrors the orchestrator manifest discipline: everything except the
+    volatile ``run`` block is deterministic for a given (suite, scale,
+    code version), so manifests diff cleanly across machines.  The
+    ``reorder_applicability`` section records, per GEMM, whether READ's
+    single-zero-crossing property held on the op's real operand sample —
+    the paper's invariant is proven only for non-negative activations,
+    and this is where the measured answer for signed attention operands
+    lands.
+    """
+    scenarios = []
+    for report in result.reports:
+        scenarios.append(
+            {
+                "scenario": report.scenario.describe(),
+                "quant_accuracy": report.quant_accuracy,
+                "bits": [list(rule) for rule in report.bits],
+                "injected_accuracy": report.injected_accuracy,
+                "reorder_applicability": report.reorder_applicability,
+                "layer_ters": {
+                    strategy: [
+                        {
+                            "layer": r.layer,
+                            "n_macs_per_output": r.n_macs_per_output,
+                            "groups": r.groups,
+                            "ter_by_corner": r.ter_by_corner,
+                        }
+                        for r in records
+                    ]
+                    for strategy, records in report.records.items()
+                },
+            }
+        )
+    manifest: Dict[str, object] = {
+        "schema": MANIFEST_SCHEMA,
+        "suite": result.suite,
+        "scale": result.scale,
+        "scenarios": scenarios,
+    }
+    if engine is not None:
+        manifest["run"] = {
+            "backend": engine.backend_name,
+            "stats": engine.stats.as_dict(),
+        }
+    return manifest
+
+
+def write_suite_manifest(
+    result: SuiteResult, artifacts_dir: Path, engine: Optional[SimEngine] = None
+) -> Path:
+    """Write ``manifest.json`` for one sweep into ``artifacts_dir``."""
+    artifacts_dir = Path(artifacts_dir)
+    artifacts_dir.mkdir(parents=True, exist_ok=True)
+    manifest_path = artifacts_dir / "manifest.json"
+    manifest_path.write_text(
+        json.dumps(suite_manifest(result, engine=engine), indent=2, sort_keys=True) + "\n"
+    )
+    return manifest_path
 
 
 # ---------------------------------------------------------------------- #
@@ -253,8 +331,16 @@ def render_scenario(report: ScenarioReport) -> str:
             record.n_macs_per_output,
         ]
         row += [by_strategy[s][record.layer].ter_by_corner[eval_corner] for s in strategies]
+        verdict = report.reorder_applicability.get(record.layer)
+        if verdict is not None:
+            row.append(
+                "yes" if verdict["holds"] else f"no (max {verdict['max_zero_crossings']}x)"
+            )
         layer_rows.append(row)
-    ter_table = render_table(["Layer", "N"] + strategies, layer_rows)
+    headers = ["Layer", "N"] + strategies
+    if report.reorder_applicability:
+        headers.append("0x<=1")
+    ter_table = render_table(headers, layer_rows)
 
     acc_rows = []
     for strategy in strategies:

@@ -96,6 +96,7 @@ _RUNTIME_COUNTER_FIELDS = (
     "trials_deduped",
     "arena_hits",
     "arena_stores",
+    "arena_errors",
 )
 
 
@@ -258,7 +259,10 @@ def _pass_from_entry(entry) -> Optional[FaultFreePass]:
             acc={n: arrays[f"acc:{n}"] for n in meta["acc_names"]},
             max_abs_acc={n: int(v) for n, v in meta["max_abs_acc"].items()},
         )
-    except Exception:
+    except (KeyError, ValueError, TypeError, AttributeError):
+        # Arena layout drift (e.g. an entry published by an older
+        # schema): fall back to a locally built pass.
+        record_runtime_counters(arena_errors=1)
         return None
 
 
@@ -325,8 +329,11 @@ def _arena_install_weights(network: "QuantizedNetwork", identity: Tuple) -> None
                 arrays[f"w:{qc.name}:{g}"] = w
         if arrays and arena.publish(key, arrays, {"convs": len(qconvs)}):
             record_runtime_counters(arena_stores=1)
-    except Exception:
-        pass
+    except (OSError, ValueError, KeyError, TypeError, AttributeError):
+        # Shared lowering is an optimization: on any mapping/layout
+        # failure each process lowers its own copy.  Counted so the
+        # degradation shows up in the engine summary.
+        record_runtime_counters(arena_errors=1)
 
 
 #: Scale fields that determine the trained bundle and hence the result.

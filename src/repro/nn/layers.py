@@ -330,6 +330,203 @@ class Flatten(Module):
         return grad_out.reshape(self._x_shape)
 
 
+class PatchExtract(Module):
+    """``(N, C, H, W) -> (N, T, C*p*p)``: non-overlapping patch tokens.
+
+    The embedding front of the mixer/ViT recipes: each ``p x p`` spatial
+    patch becomes one token whose feature vector concatenates the patch
+    pixels channel-major.  Pure reshape/transpose — no parameters.
+    """
+
+    def __init__(self, patch: int) -> None:
+        if patch < 1:
+            raise ConfigurationError("patch size must be >= 1")
+        self.patch = patch
+        self._x_shape = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ShapeError(f"PatchExtract expects (N, C, H, W), got {x.shape}")
+        n, c, h, w = x.shape
+        p = self.patch
+        if h % p or w % p:
+            raise ShapeError(f"patch {p} must divide spatial dims {h}x{w}")
+        self._x_shape = x.shape
+        tokens = x.reshape(n, c, h // p, p, w // p, p)
+        tokens = tokens.transpose(0, 2, 4, 1, 3, 5)
+        return tokens.reshape(n, (h // p) * (w // p), c * p * p)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise TrainingError("backward called before forward")
+        n, c, h, w = self._x_shape
+        p = self.patch
+        grad = grad_out.reshape(n, h // p, w // p, c, p, p)
+        grad = grad.transpose(0, 3, 1, 4, 2, 5)
+        return grad.reshape(n, c, h, w)
+
+
+class TokenLinear(Linear):
+    """A :class:`Linear` applied per token: ``(N, T, in) -> (N, T, out)``.
+
+    Subclassing keeps every ``isinstance(module, Linear)`` walk (scenario
+    layer enumeration, quantized lowering) working unchanged; only the
+    batched-token shape handling differs.
+    """
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3:
+            raise ShapeError(f"TokenLinear expects (batch, tokens, features), got {x.shape}")
+        self._x = x
+        return x @ self.weight.data + self.bias.data
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise TrainingError("backward called before forward")
+        d_in = self.weight.data.shape[0]
+        d_out = self.weight.data.shape[1]
+        self.weight.grad += self._x.reshape(-1, d_in).T @ grad_out.reshape(-1, d_out)
+        self.bias.grad += grad_out.reshape(-1, d_out).sum(axis=0)
+        return grad_out @ self.weight.data.T
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis (token feature vectors)."""
+
+    def __init__(self, dim: int, eps: float = 1e-5, name: str = "ln") -> None:
+        self.gamma = Parameter(np.ones(dim), name=f"{name}.gamma")
+        self.beta = Parameter(np.zeros(dim), name=f"{name}.beta")
+        self.eps = eps
+        self.name = name
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv = 1.0 / np.sqrt(var + self.eps)
+        xhat = (x - mean) * inv
+        self._cache = (xhat, inv)
+        return xhat * self.gamma.data + self.beta.data
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise TrainingError("backward called before forward")
+        xhat, inv = self._cache
+        dim = self.gamma.data.shape[0]
+        g = grad_out * self.gamma.data
+        grad_x = (
+            g
+            - g.mean(axis=-1, keepdims=True)
+            - xhat * (g * xhat).mean(axis=-1, keepdims=True)
+        ) * inv
+        self.gamma.grad += (grad_out * xhat).reshape(-1, dim).sum(axis=0)
+        self.beta.grad += grad_out.reshape(-1, dim).sum(axis=0)
+        return grad_x
+
+
+class SelfAttention(Module):
+    """Single-head self-attention over token sequences.
+
+    Q/K/V/output projections are :class:`TokenLinear` layers (static-
+    weight GEMMs); the two activation-activation products — the scaled
+    ``Q @ K^T`` score matrix and the ``softmax @ V`` mix — are the
+    dynamic GEMMs the quantized lowering maps onto the systolic array
+    under the names in :attr:`dynamic_gemm_names`.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "attn",
+    ) -> None:
+        rng = rng or np.random.default_rng()
+        self.q = TokenLinear(dim, dim, rng=rng, name=f"{name}.q")
+        self.k = TokenLinear(dim, dim, rng=rng, name=f"{name}.k")
+        self.v = TokenLinear(dim, dim, rng=rng, name=f"{name}.v")
+        self.proj = TokenLinear(dim, dim, rng=rng, name=f"{name}.proj")
+        self.scale = 1.0 / np.sqrt(dim)
+        self.name = name
+        #: Names under which the runtime activation-activation products
+        #: appear in the quantized pipeline (scores, attention-mix).
+        self.dynamic_gemm_names = (f"{name}.qk", f"{name}.av")
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3:
+            raise ShapeError(f"SelfAttention expects (batch, tokens, dim), got {x.shape}")
+        q = self.q.forward(x)
+        k = self.k.forward(x)
+        v = self.v.forward(x)
+        scores = q @ k.transpose(0, 2, 1) * self.scale
+        e = np.exp(scores - scores.max(axis=-1, keepdims=True))
+        p = e / e.sum(axis=-1, keepdims=True)
+        out = p @ v
+        self._cache = (q, k, v, p)
+        return self.proj.forward(out)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise TrainingError("backward called before forward")
+        q, k, v, p = self._cache
+        d_out = self.proj.backward(grad_out)
+        dv = p.transpose(0, 2, 1) @ d_out
+        dp = d_out @ v.transpose(0, 2, 1)
+        ds = p * (dp - (dp * p).sum(axis=-1, keepdims=True))
+        dq = ds @ k * self.scale
+        dk = ds.transpose(0, 2, 1) @ q * self.scale
+        return self.q.backward(dq) + self.k.backward(dk) + self.v.backward(dv)
+
+
+class EncoderBlock(Module):
+    """Pre-norm transformer encoder block: attention + ReLU MLP."""
+
+    def __init__(
+        self,
+        dim: int,
+        hidden: int,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "block",
+    ) -> None:
+        rng = rng or np.random.default_rng()
+        self.ln1 = LayerNorm(dim, name=f"{name}.ln1")
+        self.attn = SelfAttention(dim, rng=rng, name=f"{name}.attn")
+        self.ln2 = LayerNorm(dim, name=f"{name}.ln2")
+        self.ffn1 = TokenLinear(dim, hidden, rng=rng, name=f"{name}.ffn1")
+        self.relu = ReLU()
+        self.ffn2 = TokenLinear(hidden, dim, rng=rng, name=f"{name}.ffn2")
+        self.name = name
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        h = x + self.attn.forward(self.ln1.forward(x))
+        return h + self.ffn2.forward(self.relu.forward(self.ffn1.forward(self.ln2.forward(h))))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_h = grad_out + self.ln2.backward(
+            self.ffn1.backward(self.relu.backward(self.ffn2.backward(grad_out)))
+        )
+        return grad_h + self.ln1.backward(self.attn.backward(grad_h))
+
+
+class TokenMean(Module):
+    """Mean over the token axis: ``(N, T, D) -> (N, D)`` (sequence head)."""
+
+    def __init__(self) -> None:
+        self._x_shape = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3:
+            raise ShapeError(f"TokenMean expects (batch, tokens, dim), got {x.shape}")
+        self._x_shape = x.shape
+        return x.mean(axis=1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise TrainingError("backward called before forward")
+        n, t, d = self._x_shape
+        return np.broadcast_to(grad_out[:, None, :] / t, (n, t, d)).copy()
+
+
 class Sequential(Module):
     """Chain of modules executed in order."""
 

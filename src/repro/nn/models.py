@@ -24,13 +24,17 @@ from .layers import (
     BasicBlock,
     BatchNorm2d,
     Conv2d,
+    EncoderBlock,
     Flatten,
     GlobalAvgPool,
     Linear,
     MaxPool2d,
     Module,
+    PatchExtract,
     ReLU,
     Sequential,
+    TokenLinear,
+    TokenMean,
 )
 
 #: VGG-16 configuration: output channels per conv layer, 'M' = max-pool.
@@ -207,6 +211,46 @@ def build_mobilenet(
     return ClassifierNetwork("mobilenet", features, head)
 
 
+#: Mixer/ViT recipe shape: patch size and encoder depth for 32x32 inputs.
+MIXER_PATCH = 8
+MIXER_DEPTH = 2
+
+
+def build_mixer(
+    n_classes: int = 10,
+    width: float = 0.25,
+    in_channels: int = 3,
+    seed: int = 0,
+) -> ClassifierNetwork:
+    """A tiny single-head ViT for 32x32 inputs (the transformer recipe).
+
+    ``PatchExtract(8)`` turns a 32x32 image into 16 tokens, a
+    :class:`TokenLinear` embeds them, and :data:`MIXER_DEPTH` pre-norm
+    encoder blocks (single-head attention + ReLU MLP) mix them; the head
+    mean-pools tokens into a :class:`Linear` classifier.  Every GEMM —
+    embed, q/k/v/proj, FFN, and the two runtime activation-activation
+    products per block (``QK^T``, ``attention @ V``) — lowers onto the
+    systolic array via the quantized matmul path, which is the point:
+    attention operand statistics are signed, unlike post-ReLU conv
+    activations, so READ-reorder applicability must be measured, not
+    assumed.
+    """
+    if n_classes < 2:
+        raise ConfigurationError("need at least 2 classes")
+    rng = np.random.default_rng(seed)
+    d_in = in_channels * MIXER_PATCH * MIXER_PATCH
+    dim = _scaled(128, width)
+    layers: List[Module] = [
+        PatchExtract(MIXER_PATCH),
+        TokenLinear(d_in, dim, rng=rng, name="embed"),
+    ]
+    for i in range(MIXER_DEPTH):
+        layers.append(EncoderBlock(dim, 2 * dim, rng=rng, name=f"block{i}"))
+    features = Sequential(layers)
+    head = Sequential([TokenMean(), Linear(dim, n_classes, rng=rng, name="fc")])
+    return ClassifierNetwork("mixer", features, head)
+
+
 def build_model(
     name: str,
     n_classes: int = 10,
@@ -214,13 +258,15 @@ def build_model(
     in_channels: int = 3,
     seed: int = 0,
 ) -> ClassifierNetwork:
-    """Dispatch on model name: ``vgg16`` / ``resnet18`` / ``resnet34`` / ``mobilenet``."""
+    """Dispatch on model name: ``vgg16`` / ``resnet18`` / ``resnet34`` / ``mobilenet`` / ``mixer``."""
     if name == "vgg16":
         return build_vgg16(n_classes=n_classes, width=width, in_channels=in_channels, seed=seed)
     if name == "mobilenet":
         return build_mobilenet(
             n_classes=n_classes, width=width, in_channels=in_channels, seed=seed
         )
+    if name == "mixer":
+        return build_mixer(n_classes=n_classes, width=width, in_channels=in_channels, seed=seed)
     if name in RESNET_STAGES:
         return build_resnet(
             variant=name, n_classes=n_classes, width=width, in_channels=in_channels, seed=seed

@@ -44,13 +44,19 @@ from .layers import (
     BasicBlock,
     BatchNorm2d,
     Conv2d,
+    EncoderBlock,
     Flatten,
     GlobalAvgPool,
+    LayerNorm,
     Linear,
     MaxPool2d,
     Module,
+    PatchExtract,
     ReLU,
+    SelfAttention,
     Sequential,
+    TokenLinear,
+    TokenMean,
 )
 from .models import ClassifierNetwork
 
@@ -770,6 +776,15 @@ class QuantizedNetwork:
                     convs.append(qc)
         return convs
 
+    def gemm_ops(self) -> List[object]:
+        """Every integer-GEMM op in execution order (the TER/BER unit).
+
+        For a conv network these are exactly :meth:`qconvs`; token
+        networks extend the family with matmul ops.  The shared surface
+        the generalized TER pipeline iterates.
+        """
+        return list(self.qconvs())
+
     def _forward_features(self, x: np.ndarray) -> np.ndarray:
         for op in self._ops:
             if isinstance(op, (QuantizedConv, _QBlock)):
@@ -1344,3 +1359,542 @@ class QuantizedNetwork:
                 counts[c] = chunked_correct(_to_nchw(feat).reshape(n, -1))
             accuracies.append(counts[c] / n)
         return accuracies
+
+
+# ---------------------------------------------------------------------- #
+# First-class matmul lowering: transformer GEMMs on the integer datapath
+# ---------------------------------------------------------------------- #
+class QuantizedMatmul:
+    """A static-weight GEMM (``x @ W + b``) on the integer MAC datapath.
+
+    The first-class generalization of the ``Linear``-to-1x1-conv lowering:
+    any ``(..., in_features)`` tensor — 2-D classifier features or 3-D
+    token sequences — executes as one int64 GEMM against the per-tensor
+    symmetric quantized weight matrix, with the same fault-hook and
+    operand-recording surface as :class:`QuantizedConv` (the accumulator
+    tensor flattened to ``(rows, out_features)``, one row per output
+    vector).
+
+    Unlike conv activations (post-ReLU, non-negative), matmul inputs may
+    be signed — LayerNorm outputs feed Q/K/V projections directly.  The
+    calibration pass records the signedness and the quantizer switches to
+    symmetric signed (``[-q_max, q_max]``) when any negative activation
+    was observed; READ-reorder applicability over such signed operand
+    streams is exactly what the transformer suite measures per GEMM.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        weight: np.ndarray,
+        bias: np.ndarray,
+        act_bits: int = 8,
+        weight_bits: int = 8,
+    ) -> None:
+        if weight.ndim != 2:
+            raise QuantizationError(f"matmul {name}: weight must be 2-D, got {weight.shape}")
+        self.name = name
+        self.weight_float = weight
+        self.weight_q, self.w_scale = quantize_weights(weight, n_bits=weight_bits)
+        self.bias = bias
+        self.act_bits = act_bits
+        self.weight_bits = weight_bits
+        self.groups = 1
+        self.in_scale: Optional[float] = None
+        self.act_signed = False
+        self._observed_max = 0.0
+        self._observed_min = 0.0
+        self.injector: Optional[Injector] = None
+        self.record = False
+        self.recorded_cols: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def in_features(self) -> int:
+        return self.weight_q.shape[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.weight_q.shape[1]
+
+    @property
+    def n_macs_per_output(self) -> int:
+        """Reduction length N of Eq. 1 (one MAC per input feature)."""
+        return self.weight_q.shape[0]
+
+    def group_col_spans(self) -> List[Tuple[int, int]]:
+        return [(0, self.in_features)]
+
+    def lowered_weight_matrix(self) -> np.ndarray:
+        """Quantized GEMM weights ``(in_features, out_features)`` for READ planning."""
+        return self.weight_q.copy()
+
+    def lowered_group_weights(self) -> List[np.ndarray]:
+        return [self.weight_q.copy()]
+
+    def _act_q_max(self) -> int:
+        return (1 << (self.act_bits - 1)) - 1 if self.act_signed else (1 << self.act_bits) - 1
+
+    def acc_bound(self) -> int:
+        """Largest possible |partial sum| (see :meth:`QuantizedConv.acc_bound`)."""
+        col_sums = np.abs(self.weight_q).sum(axis=0)
+        return int(self._act_q_max()) * int(col_sums.max(initial=0))
+
+    # ------------------------------------------------------------------ #
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.in_scale is None:
+            return self._forward_calibrate(x)
+        return self._forward_quantized(x)
+
+    __call__ = forward
+
+    def _forward_calibrate(self, x: np.ndarray) -> np.ndarray:
+        self._observed_max = max(self._observed_max, float(np.abs(x).max(initial=0.0)))
+        self._observed_min = min(self._observed_min, float(x.min(initial=0.0)))
+        return x @ self.weight_float + self.bias
+
+    def finalize_calibration(self) -> None:
+        """Fix the activation scale — and signedness — from calibration."""
+        if self._observed_max <= 0:
+            raise QuantizationError(
+                f"matmul {self.name}: no nonzero activations observed during calibration"
+            )
+        self.act_signed = self._observed_min < 0.0
+        self.in_scale = self._observed_max / self._act_q_max()
+
+    def quantize_input(self, x: np.ndarray) -> np.ndarray:
+        if self.in_scale is None:
+            raise QuantizationError(f"matmul {self.name} is not calibrated")
+        q_max = self._act_q_max()
+        q_min = -q_max if self.act_signed else 0
+        return np.clip(np.round(x / self.in_scale), q_min, q_max).astype(np.int64)
+
+    def _forward_quantized(self, x: np.ndarray) -> np.ndarray:
+        lead = x.shape[:-1]
+        x_q = self.quantize_input(x).reshape(-1, self.in_features)
+        if self.record:
+            self.recorded_cols = x_q
+        acc = x_q @ self.weight_q
+        if self.injector is not None:
+            acc = self.injector(acc, self)
+        out = acc.astype(np.float64)
+        out *= self.in_scale * self.w_scale
+        out += self.bias[None, :]
+        return out.reshape(lead + (self.out_features,))
+
+
+class QuantizedDynamicMatmul:
+    """An activation-activation GEMM (``A @ B``) on the integer datapath.
+
+    The attention products — ``Q @ K^T`` and ``softmax @ V`` — have *no*
+    static weight: both operands are runtime tensors, each with its own
+    calibrated per-tensor scale and signedness.  The op executes one
+    batched int64 GEMM per forward; the raw accumulators, flattened to
+    ``(batch*rows, cols)``, pass through the same injector hook as every
+    other GEMM, and recording captures both quantized operand tensors —
+    per *instance* (batch element), because the systolic array sees a
+    different stationary matrix per image.
+
+    ``extra_scale`` folds a constant factor (the attention ``1/sqrt(d)``)
+    into the dequantization epilogue, keeping the integer datapath pure.
+    """
+
+    def __init__(self, name: str, act_bits: int = 8, extra_scale: float = 1.0) -> None:
+        self.name = name
+        self.act_bits = act_bits
+        self.weight_bits = act_bits  # the stationary operand is an activation too
+        self.extra_scale = float(extra_scale)
+        self.groups = 1
+        self.a_scale: Optional[float] = None
+        self.b_scale: Optional[float] = None
+        self.a_signed = False
+        self.b_signed = False
+        self._a_max = 0.0
+        self._a_min = 0.0
+        self._b_max = 0.0
+        self._b_min = 0.0
+        self._k: Optional[int] = None
+        self.injector: Optional[Injector] = None
+        self.record = False
+        #: When ``record`` is set: ``(a_q, b_q)`` int64 operand tensors of
+        #: the most recent forward — ``a_q`` is ``(N, rows, K)`` moving
+        #: operands, ``b_q`` is ``(N, K, cols)`` stationary operands.
+        self.recorded_operands: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def in_scale(self) -> Optional[float]:
+        """Moving-operand scale (parity with the static-GEMM surface)."""
+        return self.a_scale
+
+    @property
+    def n_macs_per_output(self) -> int:
+        """Reduction length K, fixed by the first (calibration) forward."""
+        if self._k is None:
+            raise QuantizationError(f"matmul {self.name} has not seen a forward pass")
+        return self._k
+
+    def group_col_spans(self) -> List[Tuple[int, int]]:
+        return [(0, self.n_macs_per_output)]
+
+    def _q_max(self, signed: bool) -> int:
+        return (1 << (self.act_bits - 1)) - 1 if signed else (1 << self.act_bits) - 1
+
+    def acc_bound(self) -> int:
+        """Largest possible |partial sum| of the dynamic integer GEMM."""
+        return self._q_max(self.a_signed) * self._q_max(self.b_signed) * self.n_macs_per_output
+
+    # ------------------------------------------------------------------ #
+    def forward(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if a.shape[-1] != b.shape[-2]:
+            raise QuantizationError(
+                f"matmul {self.name}: inner dims differ ({a.shape} @ {b.shape})"
+            )
+        self._k = a.shape[-1]
+        if self.a_scale is None:
+            return self._forward_calibrate(a, b)
+        return self._forward_quantized(a, b)
+
+    __call__ = forward
+
+    def _forward_calibrate(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        self._a_max = max(self._a_max, float(np.abs(a).max(initial=0.0)))
+        self._a_min = min(self._a_min, float(a.min(initial=0.0)))
+        self._b_max = max(self._b_max, float(np.abs(b).max(initial=0.0)))
+        self._b_min = min(self._b_min, float(b.min(initial=0.0)))
+        return np.matmul(a, b) * self.extra_scale
+
+    def finalize_calibration(self) -> None:
+        if self._a_max <= 0 or self._b_max <= 0:
+            raise QuantizationError(
+                f"matmul {self.name}: no nonzero operands observed during calibration"
+            )
+        self.a_signed = self._a_min < 0.0
+        self.b_signed = self._b_min < 0.0
+        self.a_scale = self._a_max / self._q_max(self.a_signed)
+        self.b_scale = self._b_max / self._q_max(self.b_signed)
+
+    def _quantize(self, x: np.ndarray, scale: float, signed: bool) -> np.ndarray:
+        q_max = self._q_max(signed)
+        q_min = -q_max if signed else 0
+        return np.clip(np.round(x / scale), q_min, q_max).astype(np.int64)
+
+    def _forward_quantized(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a_q = self._quantize(a, self.a_scale, self.a_signed)
+        b_q = self._quantize(b, self.b_scale, self.b_signed)
+        if self.record:
+            self.recorded_operands = (a_q, b_q)
+        acc = np.matmul(a_q, b_q)
+        out_shape = acc.shape
+        acc = acc.reshape(-1, out_shape[-1])
+        if self.injector is not None:
+            acc = self.injector(acc, self)
+        out = acc.astype(np.float64)
+        out *= self.a_scale * self.b_scale * self.extra_scale
+        return out.reshape(out_shape)
+
+
+def _matmul_from_linear(linear: Linear, n_bits: int = 8) -> QuantizedMatmul:
+    """Lower a ``Linear``/``TokenLinear`` to a :class:`QuantizedMatmul`."""
+    return QuantizedMatmul(
+        name=linear.name,
+        weight=linear.weight.data.copy(),
+        bias=linear.bias.data.copy(),
+        act_bits=n_bits,
+        weight_bits=n_bits,
+    )
+
+
+class _QAttention:
+    """Quantized single-head self-attention (inference only).
+
+    Q/K/V/output projections are static :class:`QuantizedMatmul` ops;
+    the score and mix products are :class:`QuantizedDynamicMatmul` ops
+    under the float module's :attr:`SelfAttention.dynamic_gemm_names`.
+    Softmax runs in float between them — like ReLU and pooling in the
+    conv pipeline, it is not in the MAC datapath under study.
+    """
+
+    def __init__(self, attn: SelfAttention, bits_fn: Callable[[str], int]) -> None:
+        self.name = attn.name
+        self.q = _matmul_from_linear(attn.q, bits_fn(attn.q.name))
+        self.k = _matmul_from_linear(attn.k, bits_fn(attn.k.name))
+        self.v = _matmul_from_linear(attn.v, bits_fn(attn.v.name))
+        self.proj = _matmul_from_linear(attn.proj, bits_fn(attn.proj.name))
+        qk_name, av_name = attn.dynamic_gemm_names
+        self.qk = QuantizedDynamicMatmul(
+            qk_name, act_bits=bits_fn(qk_name), extra_scale=attn.scale
+        )
+        self.av = QuantizedDynamicMatmul(av_name, act_bits=bits_fn(av_name))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        q = self.q(x)
+        k = self.k(x)
+        v = self.v(x)
+        scores = self.qk(q, np.ascontiguousarray(k.transpose(0, 2, 1)))
+        e = np.exp(scores - scores.max(axis=-1, keepdims=True))
+        p = e / e.sum(axis=-1, keepdims=True)
+        return self.proj(self.av(p, v))
+
+    __call__ = forward
+
+    def gemm_ops(self) -> List[object]:
+        return [self.q, self.k, self.v, self.qk, self.av, self.proj]
+
+
+class _QEncoderBlock:
+    """Quantized pre-norm transformer encoder block (inference only)."""
+
+    def __init__(self, block: EncoderBlock, bits_fn: Callable[[str], int]) -> None:
+        self.name = block.name
+        self.ln1 = block.ln1
+        self.attn = _QAttention(block.attn, bits_fn)
+        self.ln2 = block.ln2
+        self.ffn1 = _matmul_from_linear(block.ffn1, bits_fn(block.ffn1.name))
+        self.ffn2 = _matmul_from_linear(block.ffn2, bits_fn(block.ffn2.name))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        h = x + self.attn(self.ln1.forward(x))
+        return h + self.ffn2(np.maximum(self.ffn1(self.ln2.forward(h)), 0.0))
+
+    __call__ = forward
+
+    def gemm_ops(self) -> List[object]:
+        return self.attn.gemm_ops() + [self.ffn1, self.ffn2]
+
+
+class QuantizedTokenNetwork:
+    """Integer-inference version of a trained token/transformer network.
+
+    The transformer counterpart of :class:`QuantizedNetwork`: every GEMM
+    — token embedding, Q/K/V/output projections, FFN layers, classifier
+    head, and the two runtime activation-activation products per
+    attention (``QK^T``, ``attention @ V``) — executes as an int64 GEMM
+    through :class:`QuantizedMatmul` / :class:`QuantizedDynamicMatmul`,
+    exposing raw accumulators to the same injector hook and operand
+    recording as the conv pipeline.  Patch extraction, LayerNorm,
+    softmax, residual adds and token pooling run in float (not in the MAC
+    datapath).
+
+    The class duck-types the :class:`QuantizedNetwork` surface the
+    experiment/injection layers consume — ``calibrate`` / ``evaluate`` /
+    ``evaluate_trials`` / ``fault_free_pass`` / ``set_injector`` /
+    ``set_recording`` / ``qconvs`` (empty) / ``gemm_ops``.  The trial
+    runtime is the serial loop: attention re-mixes every token after a
+    flip, so the conv walk's masked-trial pruning has no analogue here.
+    """
+
+    def __init__(
+        self,
+        model: ClassifierNetwork,
+        bits_per_layer: Optional[Dict[str, int]] = None,
+        default_bits: int = 8,
+    ) -> None:
+        model.eval()
+        self.name = model.name
+        self.bits_per_layer = {str(k): int(v) for k, v in (bits_per_layer or {}).items()}
+        self.default_bits = int(default_bits)
+        if not 2 <= self.default_bits <= 16:
+            raise QuantizationError(f"default_bits {default_bits} outside [2, 16]")
+        for name, bits in self.bits_per_layer.items():
+            if not 2 <= bits <= 16:
+                raise QuantizationError(f"layer {name}: n_bits {bits} outside [2, 16]")
+        self._ops: List[object] = []
+        self._build(model.features)
+        self._build_head(model.head)
+        self._calibrated = False
+
+    def layer_bits(self, name: str) -> int:
+        """The quantization bit width of GEMM ``name``."""
+        return self.bits_per_layer.get(name, self.default_bits)
+
+    # ------------------------------------------------------------------ #
+    def _build(self, features: Sequential) -> None:
+        for layer in features:
+            if isinstance(layer, EncoderBlock):
+                self._ops.append(_QEncoderBlock(layer, self.layer_bits))
+            elif isinstance(layer, Linear):  # TokenLinear included
+                self._ops.append(_matmul_from_linear(layer, self.layer_bits(layer.name)))
+            elif isinstance(layer, (PatchExtract, LayerNorm, ReLU, TokenMean)):
+                self._ops.append(layer)
+            else:
+                raise QuantizationError(f"cannot lower token feature layer {layer!r}")
+
+    def _build_head(self, head: Sequential) -> None:
+        for layer in head:
+            if isinstance(layer, Linear):
+                self._ops.append(_matmul_from_linear(layer, self.layer_bits(layer.name)))
+            elif isinstance(layer, (TokenMean, ReLU)):
+                self._ops.append(layer)
+            else:
+                raise QuantizationError(f"cannot lower token head layer {layer!r}")
+
+    # ------------------------------------------------------------------ #
+    def qconvs(self, include_shortcuts: bool = False) -> List[QuantizedConv]:
+        """No conv layers in a token network (parity with the conv surface)."""
+        return []
+
+    def gemm_ops(self) -> List[object]:
+        """Every integer-GEMM op in execution order (the TER/BER unit)."""
+        ops: List[object] = []
+        for op in self._ops:
+            if isinstance(op, (QuantizedMatmul, QuantizedDynamicMatmul)):
+                ops.append(op)
+            elif isinstance(op, _QEncoderBlock):
+                ops.extend(op.gemm_ops())
+        return ops
+
+    # ------------------------------------------------------------------ #
+    def _forward_features(self, x: np.ndarray) -> np.ndarray:
+        for op in self._ops:
+            if isinstance(op, (QuantizedMatmul, _QEncoderBlock)):
+                x = op(x)
+            elif isinstance(op, ReLU):
+                x = np.maximum(x, 0.0)
+            elif isinstance(op, Module):
+                op.training = False
+                x = op.forward(x)
+            else:  # pragma: no cover - defensive
+                raise TrainingError(f"unexpected op {op!r}")
+        return x
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Full inference: logits ``(N, classes)``."""
+        out = self.forward_features(x)
+        return out.reshape(out.shape[0], -1)
+
+    __call__ = forward
+
+    def forward_features(self, x: np.ndarray) -> np.ndarray:
+        """The lowered op pipeline; every injector hook fires along the way."""
+        if not self._calibrated:
+            raise QuantizationError("call calibrate(batch) before inference")
+        return self._forward_features(x)
+
+    # ------------------------------------------------------------------ #
+    def calibrate(self, x: np.ndarray) -> None:
+        """One float pass to fix every GEMM's operand scales."""
+        self._forward_features(x)
+        for op in self.gemm_ops():
+            op.finalize_calibration()
+        self._calibrated = True
+
+    def set_injector(self, injector: Optional[Injector]) -> None:
+        """Install (or clear) the fault hook on every GEMM op."""
+        for op in self.gemm_ops():
+            op.injector = injector
+
+    def set_recording(self, record: bool) -> None:
+        """Toggle operand recording on every GEMM op."""
+        for op in self.gemm_ops():
+            op.record = record
+            if not record:
+                if isinstance(op, QuantizedDynamicMatmul):
+                    op.recorded_operands = None
+                else:
+                    op.recorded_cols = None
+
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        topk: int = 1,
+        batch_size: int = 128,
+        injector: Optional[Injector] = None,
+    ) -> float:
+        """Top-k accuracy of quantized inference, optionally fault-injected.
+
+        Exact per-chunk correct counts, like
+        :meth:`QuantizedNetwork.evaluate` — a short final chunk can never
+        skew the average.
+        """
+        self.set_injector(injector)
+        try:
+            correct = 0
+            for start in range(0, x.shape[0], batch_size):
+                xb = x[start : start + batch_size]
+                yb = y[start : start + batch_size]
+                logits = self.forward(xb)
+                correct += F.topk_correct(logits, yb, topk=topk)
+            return correct / x.shape[0]
+        finally:
+            self.set_injector(None)
+
+    def fault_free_pass(self, x: np.ndarray) -> FaultFreePass:
+        """Record every GEMM's raw accumulators over one fault-free forward.
+
+        Captured through the injector hook (the accumulators are fresh
+        per forward, so freezing them is safe); ``max_abs_acc`` holds the
+        full-batch maxima that fix relative-mode flip windows — the same
+        determinism contract as the conv runtime.
+        """
+        if not self._calibrated:
+            raise QuantizationError("call calibrate(batch) before inference")
+        pass_ = FaultFreePass(n_images=x.shape[0])
+
+        def capture(acc: np.ndarray, op: object) -> np.ndarray:
+            pass_.acc[op.name] = _frozen(acc)
+            pass_.max_abs_acc[op.name] = int(np.abs(acc).max(initial=0))
+            return acc
+
+        self.set_injector(capture)
+        try:
+            self._forward_features(x)
+        finally:
+            self.set_injector(None)
+        return pass_
+
+    def evaluate_trials(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        injectors: Sequence[Injector],
+        topk: int = 1,
+        batch_size: int = 128,
+        prefix: Optional[FaultFreePass] = None,
+        prune: Optional[bool] = None,
+        stats: Optional[TrialBatchStats] = None,
+    ) -> List[float]:
+        """Per-trial top-k accuracies (serial trial loop).
+
+        Injector streams are keyed per ``(seed, layer name)`` and draws
+        are chunk-invariant, so the serial loop is bit-identical to any
+        stacked evaluation — there is nothing for ``prefix`` / ``prune``
+        to change; the arguments exist for runtime-surface parity.
+        """
+        if not self._calibrated:
+            raise QuantizationError("call calibrate(batch) before inference")
+        if not injectors:
+            raise QuantizationError("need at least one trial injector")
+        tables = [dict(getattr(inj, "ber_per_layer")) for inj in injectors]
+        if any(table != tables[0] for table in tables[1:]):
+            raise QuantizationError(
+                "trial injectors must share one BER table (trials differ by seed only)"
+            )
+        return [
+            self.evaluate(x, y, topk=topk, batch_size=batch_size, injector=inj)
+            for inj in injectors
+        ]
+
+
+def quantize_model(
+    model: ClassifierNetwork,
+    bits_per_layer: Optional[Dict[str, int]] = None,
+    default_bits: int = 8,
+) -> object:
+    """Quantize a trained network onto the integer MAC datapath.
+
+    Dispatches on the model family: networks containing token modules
+    (encoder blocks, token linears, patch extraction) lower to a
+    :class:`QuantizedTokenNetwork`, everything else to the conv-pipeline
+    :class:`QuantizedNetwork`.  Both expose the same experiment surface.
+    """
+    for module in model.modules():
+        if isinstance(module, (EncoderBlock, TokenLinear, PatchExtract)):
+            return QuantizedTokenNetwork(
+                model, bits_per_layer=bits_per_layer, default_bits=default_bits
+            )
+    return QuantizedNetwork(
+        model, bits_per_layer=bits_per_layer, default_bits=default_bits
+    )

@@ -30,6 +30,8 @@ assert cross-backend/cross-runtime agreement per draw.
 
 from __future__ import annotations
 
+import os
+import warnings
 from dataclasses import dataclass
 from fnmatch import fnmatchcase
 from typing import Dict, List, Sequence, Tuple
@@ -122,14 +124,34 @@ class Scenario:
         First matching pattern wins; layers resolving to ``default_bits``
         are omitted (so equal effective precisions hash equally — see
         :func:`repro.experiments.common.canonical_bits`).
+
+        A rule whose pattern matches *no* layer is a configuration error:
+        a typo'd pattern would otherwise silently yield a uniform-
+        precision sweep that still reports itself as mixed-precision.
+        Set ``REPRO_ALLOW_UNMATCHED_BITS=1`` to downgrade the error to a
+        warning (e.g. one rule list shared across recipes with different
+        layer sets).
         """
         resolved: Dict[str, int] = {}
+        matched = [False] * len(self.bits)
         for layer in layer_names:
-            for pattern, n_bits in self.bits:
+            for i, (pattern, n_bits) in enumerate(self.bits):
                 if fnmatchcase(layer, pattern):
+                    matched[i] = True
                     if n_bits != self.default_bits:
                         resolved[layer] = n_bits
                     break
+        unmatched = [pattern for (pattern, _), hit in zip(self.bits, matched) if not hit]
+        if unmatched:
+            message = (
+                f"scenario {self.name}: bit rule pattern(s) "
+                f"{', '.join(repr(p) for p in unmatched)} match no layer "
+                f"(layers: {', '.join(layer_names)})"
+            )
+            if os.environ.get("REPRO_ALLOW_UNMATCHED_BITS"):
+                warnings.warn(message, RuntimeWarning, stacklevel=2)
+            else:
+                raise ConfigurationError(message)
         return resolved
 
     def describe(self) -> Dict[str, object]:
@@ -164,7 +186,7 @@ def layer_names_for_recipe(recipe: str, scale=None) -> List[str]:
     # Imported lazily: repro.experiments imports this module's consumers.
     from .experiments.common import MODEL_RECIPES, get_scale
     from .nn.datasets import load_dataset
-    from .nn.layers import Conv2d, Linear
+    from .nn.layers import Conv2d, Linear, SelfAttention
     from .nn.models import build_model
 
     if recipe not in MODEL_RECIPES:
@@ -177,11 +199,14 @@ def layer_names_for_recipe(recipe: str, scale=None) -> List[str]:
     model_name, dataset_name = MODEL_RECIPES[recipe]
     n_classes = load_dataset(dataset_name).spec.n_classes
     model = build_model(model_name, n_classes=n_classes, width=scale.width)
-    names = [
-        module.name
-        for module in model.modules()
-        if isinstance(module, (Conv2d, Linear))
-    ]
+    names: List[str] = []
+    for module in model.modules():
+        if isinstance(module, (Conv2d, Linear)):
+            names.append(module.name)
+        elif isinstance(module, SelfAttention):
+            # Runtime activation-activation GEMMs (QK^T, attention@V)
+            # have no weight module, but the quantizer lowers them too.
+            names.extend(module.dynamic_gemm_names)
     _LAYER_NAME_CACHE[key] = names
     return list(names)
 
@@ -238,12 +263,21 @@ _STRESS_SUITE = (
     ),
 )
 
+#: Transformer workload: a tiny single-head ViT whose attention GEMMs
+#: (QK^T, attention@V) are runtime activation-activation products with
+#: *signed* operand statistics — the regime where READ's single-zero-
+#: crossing proof does not apply and applicability must be measured.
+_TRANSFORMER_SUITE = (
+    Scenario(name="mixer", recipe="mixer_cifar10"),
+)
+
 #: Named suites routed through ``read-repro sweep --suite <name>``.
 SUITES: Dict[str, Tuple[Scenario, ...]] = {
     "paper": _PAPER_SUITE,
     "mobile": _MOBILE_SUITE,
     "mixed-precision": _MIXED_SUITE,
     "stress": _STRESS_SUITE,
+    "transformer": _TRANSFORMER_SUITE,
 }
 
 

@@ -99,6 +99,31 @@ class TestDegradation:
         fresh = OperandArena(arena.root)
         assert fresh.attach("k") is None
 
+    def test_degradations_are_counted(self, arena):
+        from repro.engine import arena as arena_mod
+        from repro.faults.injection_job import drain_runtime_counters
+
+        drain_runtime_counters()  # isolate this test's deltas
+        before = arena_mod.arena_error_count()
+        arena.publish("k", bundle())
+        for descriptor in arena.root.glob("*.json"):
+            descriptor.write_text("{not json")
+        fresh = OperandArena(arena.root)
+        assert fresh.attach("k") is None
+        assert arena_mod.arena_error_count() == before + 1
+        stats = fresh.stats()
+        assert stats.errors == before + 1
+        assert f"{before + 1} error(s)" in stats.describe()
+        # the degradation rode the runtime-counter drain the engine folds
+        assert drain_runtime_counters().get("arena_errors") == 1
+
+    def test_missing_key_is_not_a_degradation(self, arena):
+        from repro.engine.arena import arena_error_count
+
+        before = arena_error_count()
+        assert arena.attach("never-published") is None
+        assert arena_error_count() == before
+
     def test_descriptor_without_segment_is_none(self, arena, tmp_path):
         # A descriptor naming a segment that no longer exists (host
         # reboot cleared /dev/shm but not the registry dir).
@@ -141,6 +166,23 @@ class TestLifecycle:
         assert report.segments_removed == 1
         stats = arena.stats()
         assert (stats.segments, stats.bytes, stats.leases) == (0, 0, 0)
+
+    def test_released_views_stay_valid_for_process_life(self, arena):
+        # The engine shutdown hook (release_all + sweep) runs while the
+        # memoized fault-free pass still holds views into attached
+        # segments.  Releasing must drop the *lease* only: numpy views
+        # over the shared buffer do not pin the mapping (no BufferError
+        # from SharedMemory.close), so unmapping here would make the
+        # next injection read a dangling pointer — this test segfaulted
+        # before the mapping was parked until process exit.
+        arena.publish("k", bundle())
+        view = arena.attach("k").arrays["acts"]
+        expected = view.copy()
+        arena.release_all()
+        arena.sweep()  # no lease left: the segment itself is reclaimed
+        np.testing.assert_array_equal(view, expected)
+        # the registry really is empty — a fresh attach rebuilds locally
+        assert OperandArena(arena.root).attach("k") is None
 
     def test_release_all_drops_publish_lease_too(self, arena):
         # publish() takes a lease without attach(); release_all must

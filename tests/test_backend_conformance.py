@@ -350,6 +350,75 @@ def test_scenario_conformance_across_backends(scenario_leg, cell):
 
 
 @hst.composite
+def matmul_scenarios(draw):
+    """One drawn QuantizedMatmul cell: a token-shaped GEMM.
+
+    Mirrors what :func:`repro.experiments.common.gemm_sim_units` emits
+    for transformer GEMMs — signed moving operands (the attention /
+    LayerNorm regime, ``act_signed`` MAC configs) or unsigned post-ReLU
+    and post-softmax streams, against a signed stationary matrix.
+    """
+    return {
+        "a_signed": draw(hst.booleans()),
+        "n_tokens": draw(hst.integers(1, 8)),
+        "c_eff": draw(hst.integers(2, 16)),
+        "k": draw(hst.integers(1, 8)),
+        "a_bits": draw(hst.sampled_from([4, 8])),
+        "b_bits": draw(hst.sampled_from([4, 8])),
+        "strategy": draw(hst.sampled_from(list(MappingStrategy))),
+        "group_size": draw(hst.integers(1, 4)),
+        "seed": draw(hst.integers(0, 2**31 - 1)),
+    }
+
+
+def _matmul_job(cell):
+    rng = np.random.default_rng(cell["seed"])
+    if cell["a_signed"]:
+        a_range = (-(1 << (cell["a_bits"] - 1)), 1 << (cell["a_bits"] - 1))
+    else:
+        a_range = (0, 1 << cell["a_bits"])
+    q_max = 1 << (cell["b_bits"] - 1)
+    acts = rng.integers(*a_range, size=(cell["n_tokens"], cell["c_eff"]))
+    weights = rng.integers(-q_max, q_max, size=(cell["c_eff"], cell["k"]))
+    config = AcceleratorConfig(
+        mac=MacConfig(
+            act_width=cell["a_bits"],
+            weight_width=cell["b_bits"],
+            act_signed=cell["a_signed"],
+        )
+    )
+    return SimJob(
+        acts=acts,
+        weights=weights,
+        corners=SCENARIO_CORNERS,
+        group_size=cell["group_size"],
+        strategy=cell["strategy"],
+        config=config,
+    )
+
+
+@SCENARIO_SETTINGS
+@given(cell=matmul_scenarios())
+def test_matmul_conformance_across_backends(scenario_leg, cell):
+    """Signed-operand matmul cells honor the same contract as conv GEMMs:
+    reference within 1e-9, fast/vector TERs bit-for-bit."""
+    job = _matmul_job(cell)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", MappingFallbackWarning)
+        per_backend = {
+            backend: get_backend(backend).run(job)
+            for backend in ("reference", "fast", "vector")
+        }
+    for candidate in ("fast", "vector"):
+        assert_conformant(per_backend["reference"], per_backend[candidate], candidate)
+    for corner_name in per_backend["fast"]:
+        assert (
+            per_backend["fast"][corner_name].ter
+            == per_backend["vector"][corner_name].ter
+        )
+
+
+@hst.composite
 def network_scenarios(draw):
     """A drawn tiny network: depthwise block x mixed bits x injected set."""
     c1 = draw(hst.sampled_from([4, 6]))

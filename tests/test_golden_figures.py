@@ -256,6 +256,17 @@ def test_golden_mobile_micro(update_golden, golden_engine):
     check_golden("mobile_micro", _suite_payload(result), update_golden)
 
 
+def test_golden_transformer_micro(update_golden, golden_engine):
+    """Pins the transformer suite: attention/FFN GEMM TERs (static and
+    runtime activation-activation products) plus the per-GEMM READ
+    applicability verdicts measured on signed operand statistics."""
+    result = run_suite("transformer", get_scale(SCALE), engine=golden_engine)
+    payload = _suite_payload(result)
+    for section, rep in zip(payload["scenarios"], result.reports):
+        section["reorder_applicability"] = rep.reorder_applicability
+    check_golden("transformer_micro", payload, update_golden)
+
+
 def test_golden_mixed_micro(update_golden, golden_engine):
     """Pins the mixed-precision suite (per-layer bit widths feed both the
     quantizers and the injection-job cache keys)."""

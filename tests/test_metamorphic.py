@@ -62,6 +62,82 @@ def test_reordered_execution_is_bit_identical(layer, strategy):
     assert sorted(plan.output_channel_permutation().tolist()) == list(range(weights.shape[1]))
 
 
+@hst.composite
+def signed_attention_layers(draw):
+    """Attention-shaped GEMM: *signed* moving operands (QK^T / scores@V).
+
+    LayerNorm outputs and Q/K products are signed, so invariant 2's
+    non-negativity precondition does not apply — these draws exercise
+    the regime the transformer suite measures instead of assumes.
+    """
+    c_eff = draw(hst.integers(2, 16))
+    k = draw(hst.integers(1, 8))
+    n_tokens = draw(hst.integers(1, 6))
+    seed = draw(hst.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    weights = rng.integers(-128, 128, size=(c_eff, k))
+    acts = rng.integers(-128, 128, size=(n_tokens, c_eff))
+    return weights, acts, seed
+
+
+@SETTINGS
+@given(
+    layer=signed_attention_layers(),
+    strategy=hst.sampled_from(list(MappingStrategy)),
+)
+def test_signed_operand_reorder_is_still_bit_identical(layer, strategy):
+    """Invariant 1 survives signed operands: integer addition commutes
+    regardless of sign, so attention GEMMs reorder without any functional
+    change even where invariant 2 fails."""
+    weights, acts, seed = layer
+    plan = plan_layer(weights, group_size=2, strategy=strategy, seed=seed)
+    natural = acts @ weights
+    produced = np.empty_like(natural)
+    for group in plan.groups:
+        produced[:, group.columns] = acts[:, group.order] @ group.weights
+    assert np.array_equal(produced, natural)
+
+
+@SETTINGS
+@given(layer=integer_layers())
+def test_applicability_verdict_holds_for_relu_streams(layer):
+    """The measured verdict must agree with the proof wherever the proof
+    applies: non-negative activation rows always report ``holds``."""
+    from repro.experiments.common import reorder_applicability
+
+    weights, acts, _, seed = layer
+    report = reorder_applicability(acts, weights, seed=seed)
+    assert report["holds"] is True
+    assert report["max_zero_crossings"] <= 1
+    assert report["violating_traces"] == 0
+
+
+def test_applicability_flags_a_signed_violation():
+    """An adversarial signed activation row flips the reordered PSUM's
+    sign on every element — the verdict must count every crossing."""
+    from repro.experiments.common import reorder_applicability
+
+    weights = np.arange(1, 7, dtype=np.int64)[:, None]
+    plan = plan_layer(
+        weights, group_size=1, strategy=MappingStrategy.REORDER, seed=0
+    )
+    order = plan.groups[0].order
+    acts = np.zeros((1, 6), dtype=np.int64)
+    # walk the plan's streaming order, choosing each activation so its
+    # product overshoots the running sum with alternating sign
+    cum, sign = 0, 1
+    for channel in order:
+        w = int(weights[channel, 0])
+        s = sign * (abs(cum) // w + 1)
+        acts[0, channel] = s
+        cum += w * s
+        sign = -sign
+    report = reorder_applicability(acts, weights, seed=0)
+    assert report["holds"] is False
+    assert report["violating_traces"] == 1
+    assert report["max_zero_crossings"] == 5
+
+
 @SETTINGS
 @given(layer=integer_layers(), criteria=hst.sampled_from(["sign_first", "mag_first"]))
 def test_single_channel_psum_crosses_zero_at_most_once(layer, criteria):

@@ -43,6 +43,23 @@ class TestScenarioSpec:
         # conv0 hits the first rule (== default -> omitted), conv* the second
         assert resolved == {"conv1": 6, "conv12": 6, "fc": 4}
 
+    def test_unmatched_bit_rule_raises(self):
+        # a typo'd pattern must not silently degrade to uniform precision
+        sc = Scenario(
+            name="s", recipe="vgg16_cifar10", bits=(("convX*", 4), ("fc", 4)),
+        )
+        with pytest.raises(ConfigurationError, match="convX"):
+            sc.resolve_bits(["conv0", "conv1", "fc"])
+
+    def test_unmatched_bit_rule_warns_under_escape_hatch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ALLOW_UNMATCHED_BITS", "1")
+        sc = Scenario(
+            name="s", recipe="vgg16_cifar10", bits=(("convX*", 4), ("fc", 4)),
+        )
+        with pytest.warns(RuntimeWarning, match="convX"):
+            resolved = sc.resolve_bits(["conv0", "conv1", "fc"])
+        assert resolved == {"fc": 4}
+
     def test_strategy_names_accepted(self):
         sc = Scenario(name="s", recipe="vgg16_cifar10", strategies=("reorder",))
         assert sc.strategies[0].value == "reorder"
@@ -60,7 +77,9 @@ class TestScenarioSpec:
 
     def test_registry_names(self):
         assert suite_names() == sorted(SUITES)
-        assert {"paper", "mobile", "mixed-precision", "stress"} <= set(SUITES)
+        assert {
+            "paper", "mobile", "mixed-precision", "stress", "transformer"
+        } <= set(SUITES)
         with pytest.raises(ConfigurationError):
             get_suite("nope")
 

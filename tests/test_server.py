@@ -196,6 +196,12 @@ class TestEngineMetrics:
         assert ", 3 coalesced" in stats.describe()
         assert stats.total == 6
 
+    def test_describe_surfaces_arena_errors(self):
+        stats = EngineStats(hits=1, arena_hits=2)
+        assert "error(s)" not in stats.describe()
+        stats.merge({"arena_errors": 3})
+        assert ", 3 error(s)" in stats.describe()
+
     def test_merge_folds_known_keys_and_ignores_the_rest(self):
         stats = EngineStats(hits=1)
         stats.merge({"hits": 2, "coalesced": 4, "backend": "vector", "junk": 9})
@@ -326,6 +332,63 @@ class TestRouting:
         with warnings_mod.catch_warnings():
             warnings_mod.simplefilter("error", RuntimeWarning)
             engine.run_many(jobs)
+
+    def test_fallback_latch_expires_and_reattaches(self, tmp_path, monkeypatch):
+        from repro.engine import scheduler
+
+        socket_path = tmp_path / "late-daemon.sock"
+        monkeypatch.setenv(ENGINE_SOCKET_ENV, str(socket_path))
+        # zero-width window: every batch after the latch re-probes
+        monkeypatch.setattr(scheduler, "REMOTE_REPROBE_SECONDS", 0.0)
+        engine = SimEngine(backend="fast", use_cache=False)
+        jobs = [make_job(23)]
+        with pytest.warns(RuntimeWarning, match="falling back to in-process"):
+            engine.run_many(jobs)
+        assert engine.stats.requests == 0 and engine.stats.misses == 1
+        # daemon still down: the re-probe fails again, silently
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error", RuntimeWarning)
+            engine.run_many(jobs)
+        assert engine.stats.requests == 0
+        # daemon comes up on the same socket: the next batch reattaches
+        instance = EngineServer(
+            str(socket_path),
+            backend="fast",
+            jobs=1,
+            cache_dir=tmp_path / "daemon-cache",
+        )
+        ready = threading.Event()
+        thread = threading.Thread(
+            target=instance.serve_forever, kwargs={"ready": ready}, daemon=True
+        )
+        thread.start()
+        assert ready.wait(10), "daemon did not come up"
+        try:
+            results = engine.run_many(jobs)
+            assert_reports_identical(results[0], solo_results(jobs)[0])
+            assert engine.stats.requests == 1
+            assert instance.metrics.requests == 1
+        finally:
+            instance.shutdown()
+            thread.join(10)
+            assert not thread.is_alive()
+
+    def test_fallback_reprobes_after_skipped_requests(self, tmp_path, monkeypatch):
+        from repro.engine import scheduler
+
+        monkeypatch.setenv(ENGINE_SOCKET_ENV, str(tmp_path / "nobody-home.sock"))
+        monkeypatch.setattr(scheduler, "REMOTE_REPROBE_REQUESTS", 2)
+        engine = SimEngine(backend="fast", use_cache=False)
+        jobs = [make_job(27)]
+        with pytest.warns(RuntimeWarning, match="falling back to in-process"):
+            engine.run_many(jobs)
+        down_since = engine._remote_down_since
+        assert down_since is not None
+        engine.run_many(jobs)  # skipped probe 1 of 2: still latched
+        assert engine._remote_down_since == down_since
+        engine.run_many(jobs)  # probe 2 hits the request arm: re-probe
+        assert engine._remote_down_since != down_since
+        assert engine._remote_skipped == 0  # counter reset by the re-probe
 
     def test_remote_false_pins_in_process(self, server, monkeypatch):
         monkeypatch.setenv(ENGINE_SOCKET_ENV, str(server.socket_path))
